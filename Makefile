@@ -1,0 +1,45 @@
+# Development entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test shape bench experiments paper synth examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Just the statistical assertions of the paper's claims.
+shape:
+	$(GO) test . -run TestShape -v
+
+# One benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every figure/table at quick scale into results/.
+experiments:
+	$(GO) run ./cmd/vichar-experiments -all -extras -csv results
+
+# The paper's full 300k-message protocol (slow).
+paper:
+	$(GO) run ./cmd/vichar-experiments -all -paper -csv results-paper
+
+synth:
+	$(GO) run ./cmd/vichar-synth
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bufferpressure
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/powerbudget
+	$(GO) run ./examples/tracereplay
+
+clean:
+	rm -rf results results-paper test_output.txt bench_output.txt

@@ -1,0 +1,188 @@
+// Command vichar-sim runs one NoC simulation from command-line flags
+// and prints its metrics: the interactive front door to the
+// simulator.
+//
+// Example — compare ViChaR to a generic buffer near saturation:
+//
+//	vichar-sim -arch vichar -rate 0.40
+//	vichar-sim -arch generic -rate 0.40
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vichar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vichar-sim: ")
+
+	var (
+		arch     = flag.String("arch", "vichar", "buffer architecture: generic|vichar|damq|fccb")
+		width    = flag.Int("width", 8, "mesh width")
+		height   = flag.Int("height", 8, "mesh height")
+		vcs      = flag.Int("vcs", 4, "virtual channels per port (fixed-VC schemes; design v for ViChaR)")
+		depth    = flag.Int("depth", 4, "per-VC FIFO depth k (generic)")
+		slots    = flag.Int("slots", 0, "buffer slots per port (default vcs*depth)")
+		rate     = flag.Float64("rate", 0.25, "injection rate, flits/node/cycle")
+		traffic  = flag.String("traffic", "ur", "traffic process: ur|ss")
+		dest     = flag.String("dest", "nr", "destination pattern: nr|tornado|transpose|bitcomplement|hotspot")
+		routing  = flag.String("routing", "xy", "routing: xy|adaptive")
+		torus    = flag.Bool("torus", false, "wrap the mesh into a torus (requires escape VCs; enabled automatically)")
+		warmup   = flag.Int("warmup", 10_000, "warm-up packets (ejected)")
+		measure  = flag.Int("measure", 30_000, "measured packets (ejected)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		series   = flag.Bool("vc-series", false, "print the in-use VC time series")
+		grid     = flag.Bool("vc-grid", false, "print the per-node in-use VC grid")
+		jsonOut  = flag.Bool("json", false, "print results as JSON instead of text")
+		spec     = flag.Bool("speculative", false, "use the speculative 3-stage router pipeline")
+		pktMax   = flag.Int("packet-max", 0, "maximum packet size for variable-size packets (0 = fixed)")
+		traceIn  = flag.String("replay-trace", "", "replay a recorded packet trace instead of generated traffic")
+		traceOut = flag.String("record-trace", "", "record the packet workload to this file")
+		confIn   = flag.String("config", "", "load the full configuration from a JSON file (other config flags are ignored)")
+		confOut  = flag.String("save-config", "", "write the resolved configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	var cfg vichar.Config
+	if *confIn != "" {
+		f, err := os.Open(*confIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := vichar.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = loaded
+	} else {
+		var err error
+		cfg = vichar.DefaultConfig()
+		if cfg.Arch, err = vichar.ParseBufferArch(*arch); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Width, cfg.Height = *width, *height
+		cfg.VCs, cfg.VCDepth = *vcs, *depth
+		cfg.BufferSlots = *slots
+		if cfg.BufferSlots == 0 {
+			cfg.BufferSlots = *vcs * *depth
+		}
+		cfg.InjectionRate = *rate
+		cfg.WarmupPackets, cfg.MeasurePackets = *warmup, *measure
+		cfg.Seed = *seed
+		if cfg.Traffic, err = vichar.ParseTraffic(*traffic); err != nil {
+			log.Fatal(err)
+		}
+		if cfg.Dest, err = vichar.ParseDest(*dest); err != nil {
+			log.Fatal(err)
+		}
+		if cfg.Routing, err = vichar.ParseRouting(*routing); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Speculative = *spec
+		cfg.PacketSizeMax = *pktMax
+		cfg.Torus = *torus
+	}
+
+	if *confOut != "" {
+		f, err := os.Create(*confOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vichar.SaveConfig(f, cfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *traceIn != "" {
+		cfg.InjectionRate = 0
+	}
+	sim, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		sim.RecordTrace()
+	}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries, err := vichar.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.LoadTrace(entries); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res := sim.Run()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vichar.WriteTrace(f, sim.RecordedTrace()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("configuration : %s, %dx%d mesh, %s traffic, %s destinations, %s routing\n",
+		res.Label, cfg.Width, cfg.Height, cfg.Traffic, cfg.Dest, cfg.Routing)
+	fmt.Printf("offered load  : %.3f flits/node/cycle\n", cfg.InjectionRate)
+	fmt.Printf("avg latency   : %.2f cycles (%.2f queueing + %.2f network)\n",
+		res.AvgLatency, res.AvgQueueLatency, res.AvgNetworkLatency)
+	fmt.Printf("latency tail  : p50 %.1f / p95 %.1f / p99 %.1f / max %d cycles\n",
+		res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("throughput    : %.2f flits/cycle\n", res.Throughput)
+	fmt.Printf("peak channel  : %.3f flits/cycle\n", res.MaxChannelLoad)
+	fmt.Printf("occupancy     : %.2f %%\n", res.AvgOccupancy*100)
+	fmt.Printf("in-use VCs    : %.2f per port\n", res.AvgInUseVCs)
+	fmt.Printf("network power : %.3f W\n", res.AvgPowerWatts)
+	fmt.Printf("packets       : %d measured / %d ejected over %d cycles\n",
+		res.MeasuredPackets, res.EjectedPackets, res.TotalCycles)
+	if res.Saturated {
+		fmt.Println("NOTE          : run hit its cycle cap (network saturated at this load)")
+	}
+
+	if *grid {
+		fmt.Println("\nper-node in-use VCs (per port):")
+		for y := 0; y < cfg.Height; y++ {
+			for x := 0; x < cfg.Width; x++ {
+				fmt.Printf("%6.2f", res.PerNodeVCs[vichar.NodeAt(cfg, x, y)])
+			}
+			fmt.Println()
+		}
+	}
+	if *series {
+		fmt.Println("\nin-use VC time series (cycle value):")
+		for _, p := range res.VCSeries {
+			fmt.Printf("%d %.3f\n", p.Cycle, p.Value)
+		}
+	}
+	os.Exit(0)
+}

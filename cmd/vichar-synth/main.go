@@ -1,0 +1,89 @@
+// Command vichar-synth prints the synthesis model's area and power
+// estimates: the regenerated Table 1 at the paper's calibration
+// point, and scaled estimates for arbitrary router configurations.
+//
+// Examples:
+//
+//	vichar-synth                     # Table 1 + headline savings
+//	vichar-synth -arch vichar -slots 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"vichar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vichar-synth: ")
+
+	var (
+		arch  = flag.String("arch", "", "estimate one configuration: generic|vichar|damq|fccb")
+		vcs   = flag.Int("vcs", 4, "virtual channels per port")
+		depth = flag.Int("depth", 4, "per-VC depth (generic)")
+		slots = flag.Int("slots", 0, "buffer slots per port (default vcs*depth)")
+		width = flag.Int("flit", 128, "flit width in bits")
+	)
+	flag.Parse()
+
+	if *arch == "" {
+		printTable1()
+		return
+	}
+
+	cfg := vichar.DefaultConfig()
+	switch strings.ToLower(*arch) {
+	case "generic", "gen":
+		cfg.Arch = vichar.Generic
+	case "vichar", "vic":
+		cfg.Arch = vichar.ViChaR
+	case "damq":
+		cfg.Arch = vichar.DAMQ
+	case "fccb", "fc-cb":
+		cfg.Arch = vichar.FCCB
+	default:
+		log.Fatalf("unknown architecture %q", *arch)
+	}
+	cfg.VCs, cfg.VCDepth = *vcs, *depth
+	cfg.BufferSlots = *slots
+	if cfg.BufferSlots == 0 {
+		cfg.BufferSlots = *vcs * *depth
+	}
+	cfg.FlitWidthBits = *width
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	b := vichar.Synthesize(cfg)
+	fmt.Printf("%s router, %d slots/port, %d-bit flits (TSMC 90 nm model)\n",
+		cfg.Arch, cfg.BufferSlots, cfg.FlitWidthBits)
+	fmt.Printf("%-24s %14s %12s\n", "component (per port)", "area (µm²)", "power (mW)")
+	fmt.Printf("%-24s %14.2f %12.2f\n", "control logic", b.CtrlArea, b.CtrlPower)
+	fmt.Printf("%-24s %14.2f %12.2f\n", "buffer slots", b.BufArea, b.BufPower)
+	fmt.Printf("%-24s %14.2f %12.2f\n", "VA logic", b.VAArea, b.VAPower)
+	fmt.Printf("%-24s %14.2f %12.2f\n", "SA logic", b.SAArea, b.SAPower)
+	fmt.Printf("%-24s %14.2f %12.2f\n", "port total", b.PortArea(), b.PortPower())
+	fmt.Printf("%-24s %14.2f %12.2f\n", "rest of router", b.RestArea, b.RestPower)
+	fmt.Printf("%-24s %14.2f %12.2f\n", "ROUTER TOTAL", b.RouterArea(), b.RouterPower())
+}
+
+func printTable1() {
+	vic, gen, areaDelta, powerDelta := vichar.Table1()
+	fmt.Println("TABLE 1 — per input port, P=5, v=4, k=4, 128-bit flits, TSMC 90 nm, 500 MHz")
+	fmt.Printf("%-36s %14s %12s\n", "Component (one input port)", "Area (µm²)", "Power (mW)")
+	for _, r := range append(vic, gen...) {
+		fmt.Printf("%-36s %14.2f %12.2f\n", r.Component, r.AreaUm2, r.PowerMW)
+	}
+	genArea := gen[len(gen)-1].AreaUm2
+	genPower := gen[len(gen)-1].PowerMW
+	fmt.Printf("\nViChaR vs generic: area %+.2f µm² (%.2f%% savings), power %+.2f mW (%.2f%% overhead)\n",
+		areaDelta, -100*areaDelta/genArea, powerDelta, 100*powerDelta/genPower)
+
+	area, pow := vichar.HalfBufferSavings()
+	fmt.Printf("ViC-8 router vs GEN-16 router: %.1f%% area savings, %.1f%% power savings\n",
+		area*100, pow*100)
+}

@@ -1,0 +1,60 @@
+// Power budget: the paper's headline design story. Halve the router
+// buffers (ViC-8 vs GEN-16), show latency stays flat at the paper's
+// operating point (injection 0.25), and price the saving with the
+// synthesis and power models — the Figure 12(f)/12(h) + Table 1
+// narrative in one program.
+//
+//	go run ./examples/powerbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vichar"
+)
+
+func run(arch vichar.BufferArch, slots int) vichar.Results {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = arch
+	cfg.BufferSlots = slots
+	if arch == vichar.Generic {
+		cfg.VCs, cfg.VCDepth = 4, slots/4
+	}
+	cfg.InjectionRate = 0.25
+	cfg.WarmupPackets = 5_000
+	cfg.MeasurePackets = 15_000
+	cfg.Seed = 11
+	res, err := vichar.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	gen := run(vichar.Generic, 16)
+	vic8 := run(vichar.ViChaR, 8)
+
+	fmt.Println("Same performance, half the buffer (injection rate 0.25):")
+	fmt.Printf("  GEN-16: latency %6.2f cycles, network power %.2f W\n", gen.AvgLatency, gen.AvgPowerWatts)
+	fmt.Printf("  ViC-8 : latency %6.2f cycles, network power %.2f W\n", vic8.AvgLatency, vic8.AvgPowerWatts)
+	fmt.Printf("  latency delta: %+.1f%%, power saving: %.1f%%\n",
+		100*(vic8.AvgLatency-gen.AvgLatency)/gen.AvgLatency,
+		100*(1-vic8.AvgPowerWatts/gen.AvgPowerWatts))
+
+	genCfg := vichar.DefaultConfig()
+	vicCfg := vichar.DefaultConfig()
+	vicCfg.Arch = vichar.ViChaR
+	vicCfg.BufferSlots = 8
+	genSyn := vichar.Synthesize(genCfg)
+	vicSyn := vichar.Synthesize(vicCfg)
+
+	fmt.Println("\nSynthesis model (TSMC 90 nm, 500 MHz), full router:")
+	fmt.Printf("  GEN-16 router: %.0f µm², %.1f mW peak\n", genSyn.RouterArea(), genSyn.RouterPower())
+	fmt.Printf("  ViC-8  router: %.0f µm², %.1f mW peak\n", vicSyn.RouterArea(), vicSyn.RouterPower())
+
+	area, pow := vichar.HalfBufferSavings()
+	fmt.Printf("  savings: %.1f%% area, %.1f%% power — the paper's 30%%/34%% claim\n",
+		area*100, pow*100)
+}

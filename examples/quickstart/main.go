@@ -1,0 +1,35 @@
+// Quickstart: simulate the paper's 8x8 mesh once with a generic
+// buffer and once with ViChaR at the same offered load, and print the
+// side-by-side metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vichar"
+)
+
+func main() {
+	const rate = 0.35 // flits/node/cycle, approaching saturation
+
+	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR} {
+		cfg := vichar.DefaultConfig() // 8x8 mesh, 16 slots/port, XY, UR traffic
+		cfg.Arch = arch
+		cfg.InjectionRate = rate
+		cfg.WarmupPackets = 5_000
+		cfg.MeasurePackets = 20_000
+
+		res, err := vichar.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s latency %6.1f cycles | throughput %5.2f flits/cycle | occupancy %5.1f%% | power %.2f W\n",
+			res.Label, res.AvgLatency, res.Throughput, res.AvgOccupancy*100, res.AvgPowerWatts)
+	}
+
+	fmt.Println("\nViChaR turns the same 16 slots/port into up to 16 dynamically")
+	fmt.Println("dispensed VCs, which is why it keeps latency lower near saturation.")
+}

@@ -1,0 +1,53 @@
+// Saturation: bisect the saturation throughput of each buffer
+// organization — the load at which latency first exceeds three times
+// its zero-load value. Quantifies the paper's observation that
+// "ViChaR saturates at higher injection rates than the generic case".
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vichar"
+	"vichar/experiments"
+)
+
+func main() {
+	opts := experiments.Options{
+		WarmupPackets:  1_000,
+		MeasurePackets: 4_000,
+		MaxCycles:      60_000,
+		Seed:           3,
+	}
+
+	fmt.Println("Saturation throughput (flits/node/cycle), 8x8 mesh, UR traffic:")
+	for _, v := range []struct {
+		label string
+		arch  vichar.BufferArch
+		slots int
+	}{
+		{"GEN-16 ", vichar.Generic, 16},
+		{"ViC-16 ", vichar.ViChaR, 16},
+		{"ViC-12 ", vichar.ViChaR, 12},
+		{"ViC-8  ", vichar.ViChaR, 8},
+		{"DAMQ-16", vichar.DAMQ, 16},
+		{"FCCB-16", vichar.FCCB, 16},
+	} {
+		cfg := vichar.DefaultConfig()
+		cfg.Arch = v.arch
+		cfg.BufferSlots = v.slots
+		if v.arch == vichar.Generic {
+			cfg.VCs, cfg.VCDepth = 4, v.slots/4
+		}
+		rate, err := experiments.SaturationRate(cfg, opts, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %.3f\n", v.label, rate)
+	}
+
+	fmt.Println("\nViChaR sustains the highest load at equal size, and ViC-8")
+	fmt.Println("stays within reach of GEN-16 with half the storage.")
+}

@@ -1,0 +1,61 @@
+// SoC traffic: drive the simulator with application task-graph
+// workloads — the VOPD and MPEG-4-style benchmarks — and compare
+// buffer organizations on identical traces. This realizes the paper's
+// stated future work of evaluating ViChaR with SoC workloads.
+//
+//	go run ./examples/soctraffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vichar"
+	"vichar/workloads"
+)
+
+func run(arch vichar.BufferArch, g workloads.TaskGraph, rate float64) vichar.Results {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = arch
+	cfg.InjectionRate = 0 // the trace drives injection
+	cfg.WarmupPackets = 2_000
+	cfg.MeasurePackets = 10_000
+
+	entries, err := g.Trace(cfg, nil, 60_000, rate, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.LoadTrace(entries); err != nil {
+		log.Fatal(err)
+	}
+	return sim.Run()
+}
+
+func main() {
+	for _, g := range workloads.Graphs() {
+		// Drive the application as hard as its busiest port allows
+		// (10% headroom): the memory-bound structure makes traffic
+		// very non-uniform, which is where buffer organization
+		// matters.
+		rate := g.FeasibleRate(0.10)
+		fmt.Printf("%s (%d cores, %d streams, %.1f flits/cycle, identical trace for both routers):\n",
+			g.Name, len(g.Tasks), len(g.Edges), rate)
+		gen := run(vichar.Generic, g, rate)
+		vic := run(vichar.ViChaR, g, rate)
+		fmt.Printf("  GEN-16: %7.1f cycles avg (p99 %6.1f)\n", gen.AvgLatency, gen.P99Latency)
+		fmt.Printf("  ViC-16: %7.1f cycles avg (p99 %6.1f)\n", vic.AvgLatency, vic.P99Latency)
+		fmt.Printf("  gain  : %6.1f%%\n\n", 100*(gen.AvgLatency-vic.AvgLatency)/gen.AvgLatency)
+	}
+
+	fmt.Println("Application pipelines are an honest counterpoint to the paper's")
+	fmt.Println("synthetic sweeps: their few fixed point-to-point streams rarely")
+	fmt.Println("need more than v VCs, while ViChaR's port-level VC allocator")
+	fmt.Println("(one token grant per output per cycle, paper Fig. 7b) serializes")
+	fmt.Println("slightly under converging hot-node traffic. ViChaR's advantage")
+	fmt.Println("lives where VC *count* is the binding resource — many concurrent")
+	fmt.Println("flows — not where a single stream saturates one port.")
+}

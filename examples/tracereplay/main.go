@@ -1,0 +1,65 @@
+// Trace record/replay: capture the packet workload of one run, then
+// replay the identical workload against a different router
+// architecture — an apples-to-apples comparison on the exact same
+// packet sequence, and the mechanism for driving the simulator with
+// externally captured SoC traces (the paper's stated future work).
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"vichar"
+)
+
+func main() {
+	// 1. Record a bursty workload on the generic router.
+	cfg := vichar.DefaultConfig()
+	cfg.Traffic = vichar.SelfSimilar
+	cfg.InjectionRate = 0.30
+	cfg.WarmupPackets = 2_000
+	cfg.MeasurePackets = 8_000
+	cfg.Seed = 99
+
+	rec, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.RecordTrace()
+	genRes := rec.Run()
+
+	var buf bytes.Buffer
+	if err := vichar.WriteTrace(&buf, rec.RecordedTrace()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d packets (%d bytes of trace)\n",
+		len(rec.RecordedTrace()), buf.Len())
+
+	// 2. Replay the identical packet sequence through ViChaR.
+	replayCfg := cfg
+	replayCfg.Arch = vichar.ViChaR
+	replayCfg.InjectionRate = 0 // trace drives injection
+
+	rep, err := vichar.NewSimulator(replayCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := vichar.ReadTrace(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.LoadTrace(entries); err != nil {
+		log.Fatal(err)
+	}
+	vicRes := rep.Run()
+
+	fmt.Printf("\nidentical workload, two buffer organizations:\n")
+	fmt.Printf("  %-7s latency %6.1f cycles (%.1f queueing + %.1f network)\n",
+		genRes.Label, genRes.AvgLatency, genRes.AvgQueueLatency, genRes.AvgNetworkLatency)
+	fmt.Printf("  %-7s latency %6.1f cycles (%.1f queueing + %.1f network)\n",
+		vicRes.Label, vicRes.AvgLatency, vicRes.AvgQueueLatency, vicRes.AvgNetworkLatency)
+	fmt.Printf("  gain: %.1f%%\n", 100*(genRes.AvgLatency-vicRes.AvgLatency)/genRes.AvgLatency)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarks are the plot symbols assigned to series in order.
+var seriesMarks = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Chart renders the outcome as an ASCII scatter plot, width x height
+// characters of plotting area, with axes and a legend — a terminal
+// rendition of the paper's figure. Series beyond the mark alphabet
+// reuse symbols.
+func (o *Outcome) Chart(width, height int) string {
+	if width < 8 || height < 4 {
+		return o.Table()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range o.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY || maxX <= minX {
+		return o.Table()
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range o.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(o.Experiment.ID), o.Experiment.Title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%8s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s%-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%8sx: %s   y: %s\n", "", o.Experiment.XLabel, o.Experiment.Metric)
+	for si, s := range o.Series {
+		fmt.Fprintf(&b, "%8s%c = %s\n", "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}

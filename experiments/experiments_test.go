@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vichar"
+)
+
+// tinyOpts shrinks runs to near-nothing; these tests exercise the
+// harness plumbing, not the science.
+func tinyOpts() Options {
+	return Options{
+		WarmupPackets:  50,
+		MeasurePackets: 150,
+		MaxCycles:      20_000,
+		Workers:        4,
+		Seed:           7,
+	}
+}
+
+// shrink keeps at most one run per series.
+func shrink(e *Experiment) *Experiment {
+	seen := map[string]bool{}
+	var runs []Run
+	for _, r := range e.Runs {
+		if seen[r.Series] {
+			continue
+		}
+		seen[r.Series] = true
+		r.Config.Width, r.Config.Height = 4, 4
+		runs = append(runs, r)
+	}
+	e.Runs = runs
+	return e
+}
+
+func TestAllExperimentsWellFormed(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.XLabel == "" {
+			t.Errorf("experiment %q incompletely labeled", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+		if len(e.Runs) == 0 {
+			t.Errorf("%s has no runs", e.ID)
+		}
+		for i, r := range e.Runs {
+			if err := r.Config.Validate(); err != nil {
+				t.Errorf("%s run %d invalid: %v", e.ID, i, err)
+			}
+		}
+	}
+	// Paper order: nine Figure-12 artifacts plus six Figure-13 ones.
+	if len(ids) != 15 {
+		t.Errorf("got %d experiments, want 15", len(ids))
+	}
+}
+
+func TestExpectedSeries(t *testing.T) {
+	want := map[string][]string{
+		"fig12a": {"GEN-NR-16", "ViC-NR-16", "GEN-TN-16", "ViC-TN-16"},
+		"fig12c": {"GEN-16", "GEN-12", "ViC-16", "ViC-12", "ViC-8"},
+		"fig12d": {"GEN-16", "ViC-16", "ViC-12", "ViC-8"},
+		"fig13c": {"GEN-12 (4x3)", "GEN-12 (3x4)", "ViC-12"},
+		"fig13d": {"ViC-16", "DAMQ-16", "FC-CB-16"},
+	}
+	for id, series := range want {
+		e := ByID(id)
+		if e == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+		got := map[string]bool{}
+		for _, r := range e.Runs {
+			got[r.Series] = true
+		}
+		for _, s := range series {
+			if !got[s] {
+				t.Errorf("%s missing series %q (has %v)", id, s, got)
+			}
+		}
+		if len(got) != len(series) {
+			t.Errorf("%s has %d series, want %d", id, len(got), len(series))
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("fig12a") == nil || ByID("fig13f") == nil {
+		t.Fatal("known ids not found")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestSelfSimilarSweepBounded(t *testing.T) {
+	for _, id := range []string{"fig12b", "fig12e", "fig13b"} {
+		for _, r := range ByID(id).Runs {
+			if r.X > 0.36 {
+				t.Errorf("%s sweeps to %.2f, above the SS peak bound", id, r.X)
+			}
+			if r.Config.Traffic != vichar.SelfSimilar {
+				t.Errorf("%s run at %.2f is not self-similar", id, r.X)
+			}
+		}
+	}
+}
+
+func TestAdaptiveExperimentConfig(t *testing.T) {
+	for _, r := range Fig12i().Runs {
+		if r.Config.Routing != vichar.MinimalAdaptive {
+			t.Fatal("fig12i must use adaptive routing")
+		}
+		if r.Config.EscapeVCs < 1 {
+			t.Fatal("fig12i needs escape VCs")
+		}
+	}
+}
+
+func TestExecuteAssemblesSeries(t *testing.T) {
+	e := shrink(Fig13d())
+	out, err := e.Execute(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(out.Series))
+	}
+	for _, s := range out.Series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		if s.Points[0].Y <= 0 {
+			t.Fatalf("series %s has empty Y", s.Name)
+		}
+	}
+	if out.SeriesByName("DAMQ-16") == nil || out.SeriesByName("nope") != nil {
+		t.Fatal("SeriesByName broken")
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	bad := Fig12g()
+	bad.Runs[0].Config.InjectionRate = 5 // invalid
+	if _, err := bad.Execute(tinyOpts()); err == nil {
+		t.Fatal("invalid run config not reported")
+	}
+}
+
+func TestExecuteProgress(t *testing.T) {
+	e := shrink(Fig12g())
+	opts := tinyOpts()
+	var calls int
+	opts.Progress = func(done, total int) {
+		calls++
+		if total != len(e.Runs) || done < 1 || done > total {
+			t.Errorf("progress (%d,%d) out of range", done, total)
+		}
+	}
+	if _, err := e.Execute(opts); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(e.Runs) {
+		t.Fatalf("progress called %d times for %d runs", calls, len(e.Runs))
+	}
+}
+
+func TestPointsSortedByX(t *testing.T) {
+	e := Fig12g()
+	// Keep two X values per series, reversed.
+	e.Runs = []Run{e.Runs[2], e.Runs[0]}
+	for i := range e.Runs {
+		e.Runs[i].Config.Width, e.Runs[i].Config.Height = 4, 4
+	}
+	out, err := e.Execute(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := out.Series[0].Points
+	if len(pts) != 2 || pts[0].X >= pts[1].X {
+		t.Fatalf("points not sorted: %+v", pts)
+	}
+}
+
+func TestMetricStringsAndValues(t *testing.T) {
+	r := vichar.Results{AvgLatency: 10, Throughput: 20, AvgOccupancy: 0.3, AvgPowerWatts: 4, AvgInUseVCs: 5}
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Latency, 10}, {Throughput, 20}, {Occupancy, 30}, {Power, 4}, {VCs, 5},
+	}
+	for _, c := range cases {
+		if got := c.m.Value(&r); got != c.want {
+			t.Errorf("%v.Value = %g, want %g", c.m, got, c.want)
+		}
+		if c.m.String() == "" || strings.HasPrefix(c.m.String(), "Metric(") {
+			t.Errorf("metric %d has no label", c.m)
+		}
+	}
+}
+
+func TestQuickAndPaperProtocols(t *testing.T) {
+	q, p := Quick(), Paper()
+	if q.MeasurePackets >= p.MeasurePackets {
+		t.Fatal("quick protocol not smaller than paper protocol")
+	}
+	if p.WarmupPackets != 100_000 || p.MeasurePackets != 200_000 {
+		t.Fatalf("paper protocol wrong: %+v", p)
+	}
+}
+
+func TestTableAndCSVFormatting(t *testing.T) {
+	e := shrink(Fig13d())
+	out, err := e.Execute(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := out.Table()
+	for _, want := range []string{"FIG13D", "ViC-16", "DAMQ-16", "FC-CB-16", "Latency"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := out.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines, want header + 1 row:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "x,") {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if got := strings.Count(lines[0], ","); got != 3 {
+		t.Fatalf("csv header has %d columns", got+1)
+	}
+}
+
+func TestNodeGrid(t *testing.T) {
+	g := NodeGrid([]float64{1, 2, 3, 4}, 2)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("grid:\n%s", g)
+	}
+	if NodeGrid([]float64{1, 2, 3}, 2) == g {
+		t.Fatal("ragged input not handled")
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{X: float64(i), Y: float64(i) * 2}
+	}
+	s := SeriesSparkline(pts, 10)
+	if n := len(strings.Fields(s)); n < 10 || n > 12 {
+		t.Fatalf("sparkline has %d entries: %q", n, s)
+	}
+	if SeriesSparkline(nil, 10) != "" || SeriesSparkline(pts, 0) != "" {
+		t.Fatal("degenerate sparkline inputs not empty")
+	}
+}
+
+func TestSeedForDeterministicAndDistinct(t *testing.T) {
+	if seedFor("A", 0.1) != seedFor("A", 0.1) {
+		t.Fatal("seedFor not deterministic")
+	}
+	if seedFor("A", 0.1) == seedFor("B", 0.1) {
+		t.Fatal("series not decorrelated")
+	}
+	if seedFor("A", 0.1) == seedFor("A", 0.2) {
+		t.Fatal("rates not decorrelated")
+	}
+}
+
+func TestGenericShapePanicsOnOddSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd generic slot count did not panic")
+		}
+	}()
+	baseConfig(vichar.Generic, 10)
+}
+
+func TestChartRendering(t *testing.T) {
+	e := Fig12g()
+	e.Runs = e.Runs[:2] // two buffer sizes: a real X span
+	for i := range e.Runs {
+		e.Runs[i].Config.Width, e.Runs[i].Config.Height = 4, 4
+	}
+	out, err := e.Execute(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := out.Chart(40, 10)
+	for _, want := range []string{"FIG12G", "o = GEN", "+---", "x: Buffer Size"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// Degenerate sizes fall back to the table.
+	if !strings.Contains(out.Chart(2, 2), "Buffer Size") {
+		t.Error("tiny chart did not fall back to table")
+	}
+	// A single-X outcome cannot be scaled; it falls back too.
+	single := shrink(Fig13d())
+	sout, err := single.Execute(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sout.Chart(40, 10), "Injection Rate") {
+		t.Error("single-X chart did not fall back to table")
+	}
+}
+
+func TestMeanStderr(t *testing.T) {
+	m, s := meanStderr(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty sample nonzero")
+	}
+	m, s = meanStderr([]float64{5})
+	if m != 5 || s != 0 {
+		t.Fatal("singleton wrong")
+	}
+	m, s = meanStderr([]float64{1, 2, 3, 4, 5})
+	if m != 3 {
+		t.Fatalf("mean %.2f", m)
+	}
+	// stddev = sqrt(2.5), sem = sqrt(2.5/5) ≈ 0.7071
+	if s < 0.70 || s > 0.71 {
+		t.Fatalf("sem %.4f", s)
+	}
+}
+
+func TestReplicatedExecution(t *testing.T) {
+	e := shrink(Fig12g())
+	opts := tinyOpts()
+	opts.Replicates = 3
+	var total int
+	opts.Progress = func(done, tot int) { total = tot }
+	out, err := e.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(e.Runs)*3 {
+		t.Fatalf("progress total %d, want %d", total, len(e.Runs)*3)
+	}
+	p := out.Series[0].Points[0]
+	if p.YErr <= 0 {
+		t.Fatalf("replicated point has no error estimate: %+v", p)
+	}
+	if p.Y <= 0 {
+		t.Fatal("mean missing")
+	}
+}
+
+func TestSaturationRateOrdering(t *testing.T) {
+	opts := Options{WarmupPackets: 300, MeasurePackets: 1200, MaxCycles: 30_000, Seed: 5}
+	small := func(arch vichar.BufferArch, slots, vcs, depth int) vichar.Config {
+		cfg := vichar.DefaultConfig()
+		cfg.Width, cfg.Height = 4, 4
+		cfg.Arch = arch
+		cfg.BufferSlots = slots
+		cfg.VCs, cfg.VCDepth = vcs, depth
+		return cfg
+	}
+	gen, err := SaturationRate(small(vichar.Generic, 16, 4, 4), opts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vic, err := SaturationRate(small(vichar.ViChaR, 16, 4, 4), opts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen < 0.1 || gen > 1.0 || vic < 0.1 || vic > 1.0 {
+		t.Fatalf("implausible saturation rates gen=%.2f vic=%.2f", gen, vic)
+	}
+	// ViChaR saturates no earlier than the generic buffer (paper:
+	// "ViChaR saturates at higher injection rates").
+	if vic < gen-0.05 {
+		t.Fatalf("ViChaR saturates earlier: %.3f vs %.3f", vic, gen)
+	}
+	t.Logf("saturation: GEN-16 %.3f, ViC-16 %.3f flits/node/cycle", gen, vic)
+}
+
+func TestExtrasWellFormed(t *testing.T) {
+	for _, e := range Extras() {
+		if e.ID == "" || len(e.Runs) == 0 {
+			t.Errorf("extra %q malformed", e.ID)
+		}
+		for i, r := range e.Runs {
+			if err := r.Config.Validate(); err != nil {
+				t.Errorf("%s run %d invalid: %v", e.ID, i, err)
+			}
+		}
+		if ByID(e.ID) == nil {
+			t.Errorf("extra %q not reachable via ByID", e.ID)
+		}
+	}
+	if len(Extras()) != 3 {
+		t.Errorf("expected 3 extras, got %d", len(Extras()))
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	e := Fig12g()
+	e.Runs = e.Runs[:3]
+	for i := range e.Runs {
+		e.Runs[i].Config.Width, e.Runs[i].Config.Height = 4, 4
+	}
+	opts := tinyOpts()
+	opts.Replicates = 2
+	out, err := e.Execute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := out.SVG(640, 420)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "FIG12G", "GEN", "Buffer Size"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Error bars present with replicates.
+	if !strings.Contains(svg, "<circle") {
+		t.Error("svg missing point markers")
+	}
+	// Empty outcome degrades gracefully.
+	empty := &Outcome{Experiment: e}
+	if !strings.Contains(empty.SVG(300, 200), "<svg") {
+		t.Error("empty svg malformed")
+	}
+}
+
+func TestSVGEscapes(t *testing.T) {
+	if svgEscape(`a<b&"c"`) != "a&lt;b&amp;&quot;c&quot;" {
+		t.Errorf("escape wrong: %q", svgEscape(`a<b&"c"`))
+	}
+	if trimFloat(0.250) != "0.25" || trimFloat(8) != "8" || trimFloat(0) != "0" {
+		t.Error("tick trimming wrong")
+	}
+}

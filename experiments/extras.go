@@ -1,0 +1,98 @@
+package experiments
+
+import "vichar"
+
+// Extras returns experiments beyond the paper's own artifacts: the
+// extension features this library adds (speculative pipeline, hotspot
+// traffic, variable-size packets) evaluated with the same harness.
+func Extras() []*Experiment {
+	return []*Experiment{ExtSpeculative(), ExtHotspot(), ExtVariablePackets()}
+}
+
+// ExtSpeculative compares the baseline 4-stage router against the
+// speculative 3-stage organization (Peh & Dally, HPCA 2001) on both
+// buffer architectures.
+func ExtSpeculative() *Experiment {
+	e := &Experiment{
+		ID:     "ext-speculative",
+		Title:  "Speculative (3-stage) vs Baseline (4-stage) Pipelines",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+		spec   bool
+	}{
+		{"GEN-16", vichar.Generic, false},
+		{"GEN-16-spec", vichar.Generic, true},
+		{"ViC-16", vichar.ViChaR, false},
+		{"ViC-16-spec", vichar.ViChaR, true},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, 16)
+			cfg.Speculative = v.spec
+			return cfg
+		})
+	}
+	return e
+}
+
+// ExtHotspot evaluates GEN-16 vs ViC-16 when 10% of packets target
+// the mesh center (a shared resource such as a memory controller).
+func ExtHotspot() *Experiment {
+	e := &Experiment{
+		ID:     "ext-hotspot",
+		Title:  "Hotspot Traffic (10% to mesh center)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()[:7] // hotspots saturate early
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+	}{
+		{"GEN-16", vichar.Generic},
+		{"ViC-16", vichar.ViChaR},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, 16)
+			cfg.Dest = vichar.Hotspot
+			cfg.HotspotFraction = 0.1
+			return cfg
+		})
+	}
+	return e
+}
+
+// ExtVariablePackets evaluates the variable-size packet protocol
+// (1 to 8 flits, uniform) the paper's VC Control Table "can trivially
+// be changed to accommodate".
+func ExtVariablePackets() *Experiment {
+	e := &Experiment{
+		ID:     "ext-varpkt",
+		Title:  "Variable-Size Packets (1-8 flits)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+	}{
+		{"GEN-16", vichar.Generic},
+		{"ViC-16", vichar.ViChaR},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, 16)
+			cfg.PacketSize = 1
+			cfg.PacketSizeMax = 8
+			return cfg
+		})
+	}
+	return e
+}

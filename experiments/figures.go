@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vichar"
+)
+
+// Default sweep of offered loads, flits/node/cycle (paper Figures 12
+// and 13 sweep 0.05 through ~0.50).
+func injectionSweep() []float64 {
+	return []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+}
+
+// baseConfig returns the paper platform with the given buffer
+// architecture and per-port slot count. Generic slot counts are
+// arranged as 4 VCs of slots/4 depth (the paper's shapes); other
+// shapes use genericShaped.
+func baseConfig(arch vichar.BufferArch, slots int) vichar.Config {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = arch
+	cfg.BufferSlots = slots
+	if arch == vichar.Generic {
+		if slots%4 != 0 {
+			panic(fmt.Sprintf("experiments: generic buffer of %d slots is not 4 VCs of equal depth", slots))
+		}
+		cfg.VCs, cfg.VCDepth = 4, slots/4
+	}
+	return cfg
+}
+
+// genericShaped returns a generic configuration with an explicit
+// VC-count x depth shape (Figure 13(c) compares 4x3 against 3x4).
+func genericShaped(vcs, depth int) vichar.Config {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = vichar.Generic
+	cfg.VCs, cfg.VCDepth = vcs, depth
+	cfg.BufferSlots = vcs * depth
+	return cfg
+}
+
+// seedFor decorrelates runs within an experiment without losing
+// reproducibility.
+func seedFor(series string, x float64) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range series {
+		h = h*1099511628211 + int64(c)
+	}
+	return h ^ int64(x*1000)
+}
+
+// sweep appends one run per injection rate for a series.
+func sweep(runs []Run, series string, rates []float64, make func(rate float64) vichar.Config) []Run {
+	for _, r := range rates {
+		cfg := make(r)
+		cfg.InjectionRate = r
+		cfg.Seed = seedFor(series, r)
+		runs = append(runs, Run{Series: series, X: r, Config: cfg})
+	}
+	return runs
+}
+
+// Fig12a builds Figure 12(a): average latency vs injection rate under
+// Uniform Random traffic for Normal Random and Tornado destinations,
+// GEN-16 vs ViC-16.
+func Fig12a() *Experiment {
+	e := &Experiment{
+		ID:     "fig12a",
+		Title:  "Average Latency (UR Traffic)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+		dest   vichar.DestPattern
+	}{
+		{"GEN-NR-16", vichar.Generic, vichar.NormalRandom},
+		{"ViC-NR-16", vichar.ViChaR, vichar.NormalRandom},
+		{"GEN-TN-16", vichar.Generic, vichar.Tornado},
+		{"ViC-TN-16", vichar.ViChaR, vichar.Tornado},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, 16)
+			cfg.Dest = v.dest
+			return cfg
+		})
+	}
+	return e
+}
+
+// Fig12b builds Figure 12(b): the same comparison under Self-Similar
+// traffic.
+func Fig12b() *Experiment {
+	e := Fig12a()
+	e.ID = "fig12b"
+	e.Title = "Average Latency (SS Traffic)"
+	// Self-similar sources cannot exceed their ON-peak; the paper
+	// sweeps SS to 0.35.
+	var runs []Run
+	for _, r := range e.Runs {
+		if r.X > 0.36 {
+			continue
+		}
+		r.Config.Traffic = vichar.SelfSimilar
+		runs = append(runs, r)
+	}
+	e.Runs = runs
+	return e
+}
+
+// Fig12c builds Figure 12(c): percent buffer occupancy at injection
+// rates just before saturation for GEN-16/12 and ViC-16/12/8.
+func Fig12c() *Experiment {
+	e := &Experiment{
+		ID:     "fig12c",
+		Title:  "% Buffer Occupancy (UR, pre-saturation)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Occupancy,
+	}
+	rates := []float64{0.25, 0.275, 0.30, 0.325, 0.35}
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+		slots  int
+	}{
+		{"GEN-16", vichar.Generic, 16},
+		{"GEN-12", vichar.Generic, 12},
+		{"ViC-16", vichar.ViChaR, 16},
+		{"ViC-12", vichar.ViChaR, 12},
+		{"ViC-8", vichar.ViChaR, 8},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			return baseConfig(v.arch, v.slots)
+		})
+	}
+	return e
+}
+
+// bufferSizeLadder is the GEN-16 / ViC-16 / ViC-12 / ViC-8 latency
+// comparison of Figures 12(d) and 12(e).
+func bufferSizeLadder(id, title string, traffic vichar.TrafficProcess) *Experiment {
+	e := &Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	if traffic == vichar.SelfSimilar {
+		rates = rates[:7] // up to 0.35: SS peak bound
+	}
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+		slots  int
+	}{
+		{"GEN-16", vichar.Generic, 16},
+		{"ViC-16", vichar.ViChaR, 16},
+		{"ViC-12", vichar.ViChaR, 12},
+		{"ViC-8", vichar.ViChaR, 8},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, v.slots)
+			cfg.Traffic = traffic
+			return cfg
+		})
+	}
+	return e
+}
+
+// Fig12d builds Figure 12(d): latency across ViChaR buffer sizes vs
+// GEN-16, Uniform Random traffic.
+func Fig12d() *Experiment {
+	return bufferSizeLadder("fig12d", "Avg. Latency for Diff. Buffer Sizes (UR)", vichar.UniformRandom)
+}
+
+// Fig12e builds Figure 12(e): the same under Self-Similar traffic.
+func Fig12e() *Experiment {
+	return bufferSizeLadder("fig12e", "Avg. Latency for Diff. Buffer Sizes (SS)", vichar.SelfSimilar)
+}
+
+// Fig12f builds Figure 12(f): ViChaR latency as a function of its
+// buffer size at injection rate 0.25, against the fixed GEN-16
+// reference (the paper's 50.49-cycle dashed line).
+func Fig12f() *Experiment {
+	e := &Experiment{
+		ID:     "fig12f",
+		Title:  "ViChaR vs Generic Efficiency (UR, inj 0.25)",
+		XLabel: "ViChaR Buffer Size (flits/port)",
+		Metric: Latency,
+	}
+	const rate = 0.25
+	for _, slots := range []int{4, 5, 6, 7, 8, 10, 12, 14, 16} {
+		cfg := baseConfig(vichar.ViChaR, slots)
+		cfg.InjectionRate = rate
+		cfg.Seed = seedFor("ViChaR", float64(slots))
+		e.Runs = append(e.Runs, Run{Series: "ViChaR", X: float64(slots), Config: cfg})
+	}
+	ref := baseConfig(vichar.Generic, 16)
+	ref.InjectionRate = rate
+	ref.Seed = seedFor("Generic (16 flits/port)", 16)
+	e.Runs = append(e.Runs, Run{Series: "Generic (16 flits/port)", X: 16, Config: ref})
+	return e
+}
+
+// Fig12g builds Figure 12(g): generic-router latency as a function of
+// statically assigned buffer size (always 4 VCs) at injection 0.25.
+func Fig12g() *Experiment {
+	e := &Experiment{
+		ID:     "fig12g",
+		Title:  "Avg. Latency for Diff. Generic Buffer Sizes (UR, inj 0.25)",
+		XLabel: "Buffer Size (flits/port)",
+		Metric: Latency,
+	}
+	const rate = 0.25
+	for _, slots := range []int{8, 12, 16, 20, 24} {
+		cfg := baseConfig(vichar.Generic, slots)
+		cfg.InjectionRate = rate
+		cfg.Seed = seedFor("GEN", float64(slots))
+		e.Runs = append(e.Runs, Run{Series: "GEN", X: float64(slots), Config: cfg})
+	}
+	return e
+}
+
+// Fig12h builds Figure 12(h): average network power consumption vs
+// injection rate for GEN-16, ViC-16, ViC-12 and ViC-8.
+func Fig12h() *Experiment {
+	e := bufferSizeLadder("fig12h", "Avg. Power Consumption (UR)", vichar.UniformRandom)
+	e.Metric = Power
+	return e
+}
+
+// Fig12i builds Figure 12(i): average latency under minimal adaptive
+// routing with escape-channel deadlock recovery, GEN-16 vs ViC-16.
+func Fig12i() *Experiment {
+	e := &Experiment{
+		ID:     "fig12i",
+		Title:  "Average Latency under Adaptive Routing (UR Traffic)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+	}{
+		{"GEN-16", vichar.Generic},
+		{"ViC-16", vichar.ViChaR},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			cfg := baseConfig(v.arch, 16)
+			cfg.Routing = vichar.MinimalAdaptive
+			cfg.EscapeVCs = 1
+			return cfg
+		})
+	}
+	return e
+}
+
+// Fig13a builds Figure 13(a): throughput vs injection rate, Uniform
+// Random traffic.
+func Fig13a() *Experiment {
+	e := bufferSizeLadder("fig13a", "Throughput (UR Traffic)", vichar.UniformRandom)
+	e.Metric = Throughput
+	return e
+}
+
+// Fig13b builds Figure 13(b): throughput under Self-Similar traffic.
+func Fig13b() *Experiment {
+	e := bufferSizeLadder("fig13b", "Throughput (SS Traffic)", vichar.SelfSimilar)
+	e.Metric = Throughput
+	return e
+}
+
+// Fig13c builds Figure 13(c): throughput of two equal-size generic VC
+// organizations (4 VCs x 3 flits and 3 VCs x 4 flits) against ViC-12.
+func Fig13c() *Experiment {
+	e := &Experiment{
+		ID:     "fig13c",
+		Title:  "Experimenting with Different Buffer Organizations (UR)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Throughput,
+	}
+	rates := injectionSweep()
+	e.Runs = sweep(e.Runs, "GEN-12 (4x3)", rates, func(rate float64) vichar.Config {
+		return genericShaped(4, 3)
+	})
+	e.Runs = sweep(e.Runs, "GEN-12 (3x4)", rates, func(rate float64) vichar.Config {
+		return genericShaped(3, 4)
+	})
+	e.Runs = sweep(e.Runs, "ViC-12", rates, func(rate float64) vichar.Config {
+		return baseConfig(vichar.ViChaR, 12)
+	})
+	return e
+}
+
+// Fig13d builds Figure 13(d): latency of ViC-16 against the DAMQ and
+// FC-CB unified-buffer baselines, Uniform Random traffic.
+func Fig13d() *Experiment {
+	e := &Experiment{
+		ID:     "fig13d",
+		Title:  "ViChaR vs DAMQ vs FC-CB (UR)",
+		XLabel: "Injection Rate (flits/node/cycle)",
+		Metric: Latency,
+	}
+	rates := injectionSweep()
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+	}{
+		{"ViC-16", vichar.ViChaR},
+		{"DAMQ-16", vichar.DAMQ},
+		{"FC-CB-16", vichar.FCCB},
+	} {
+		v := v
+		e.Runs = sweep(e.Runs, v.series, rates, func(rate float64) vichar.Config {
+			return baseConfig(v.arch, 16)
+		})
+	}
+	return e
+}
+
+// Fig13e builds Figure 13(e): the spatial variation of the average
+// number of in-use VCs per node at injection rate 0.25 (ViC-16).
+// The per-node map is in the single run's Results.PerNodeVCs.
+func Fig13e() *Experiment {
+	cfg := baseConfig(vichar.ViChaR, 16)
+	cfg.InjectionRate = 0.25
+	cfg.Seed = seedFor("ViC-16", 0.25)
+	return &Experiment{
+		ID:     "fig13e",
+		Title:  "ViChaR's Spatial Variation in # of VCs (UR, inj 0.25)",
+		XLabel: "Node",
+		Metric: VCs,
+		Runs:   []Run{{Series: "ViC-16", X: 0.25, Config: cfg}},
+	}
+}
+
+// Fig13f builds Figure 13(f): the temporal variation of the average
+// number of in-use VCs as the network fills (ViC-16). The time
+// series is in the single run's Results.VCSeries.
+func Fig13f() *Experiment {
+	// Run near saturation so the fill-up ramp is pronounced, as in
+	// the paper's figure.
+	cfg := baseConfig(vichar.ViChaR, 16)
+	cfg.InjectionRate = 0.45
+	cfg.SampleEvery = 50
+	cfg.Seed = seedFor("ViC-16", 0.45)
+	return &Experiment{
+		ID:     "fig13f",
+		Title:  "ViChaR's Temporal Variation in # of VCs (UR, inj 0.45)",
+		XLabel: "Simulation Time (cycles)",
+		Metric: VCs,
+		Runs:   []Run{{Series: "ViC-16", X: 0.45, Config: cfg}},
+	}
+}
+
+// All returns every figure experiment in paper order. Table 1 and the
+// half-buffer savings are analytic (no simulation) and exposed via
+// vichar.Table1 and vichar.HalfBufferSavings.
+func All() []*Experiment {
+	return []*Experiment{
+		Fig12a(), Fig12b(), Fig12c(), Fig12d(), Fig12e(), Fig12f(),
+		Fig12g(), Fig12h(), Fig12i(),
+		Fig13a(), Fig13b(), Fig13c(), Fig13d(), Fig13e(), Fig13f(),
+	}
+}
+
+// ByID returns the experiment (paper figure or extension) with the
+// given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range append(All(), Extras()...) {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}

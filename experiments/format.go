@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders the outcome as an aligned ASCII table: one row per X
+// value, one column per series — the same rows/series the paper's
+// figure plots.
+func (o *Outcome) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(o.Experiment.ID), o.Experiment.Title)
+	fmt.Fprintf(&b, "Y: %s\n", o.Experiment.Metric)
+
+	xs := o.xValues()
+	byXS := o.index()
+
+	w := 14
+	fmt.Fprintf(&b, "%-*s", w, o.Experiment.XLabel)
+	for _, s := range o.Series {
+		fmt.Fprintf(&b, "%*s", w, s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-*.3f", w, x)
+		for si := range o.Series {
+			if y, ok := byXS[si][x]; ok {
+				fmt.Fprintf(&b, "%*.2f", w, y)
+			} else {
+				fmt.Fprintf(&b, "%*s", w, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the outcome as comma-separated values with an x column
+// followed by one column per series.
+func (o *Outcome) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range o.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	xs := o.xValues()
+	byXS := o.index()
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for si := range o.Series {
+			if y, ok := byXS[si][x]; ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// xValues returns the sorted union of X coordinates across series.
+func (o *Outcome) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range o.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// index maps series index -> X -> Y.
+func (o *Outcome) index() []map[float64]float64 {
+	idx := make([]map[float64]float64, len(o.Series))
+	for si, s := range o.Series {
+		idx[si] = make(map[float64]float64, len(s.Points))
+		for _, p := range s.Points {
+			idx[si][p.X] = p.Y
+		}
+	}
+	return idx
+}
+
+// NodeGrid renders a per-node metric (e.g. Figure 13(e)'s spatial VC
+// map) as a Height x Width grid, given the mesh width.
+func NodeGrid(values []float64, width int) string {
+	if width <= 0 || len(values)%width != 0 {
+		return fmt.Sprintf("%v", values)
+	}
+	var b strings.Builder
+	for i, v := range values {
+		fmt.Fprintf(&b, "%6.2f", v)
+		if (i+1)%width == 0 {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// SeriesSparkline renders a time series compactly: sampled values
+// joined as "cycle:value" pairs, at most n entries, evenly spaced.
+func SeriesSparkline(points []Point, n int) string {
+	if n <= 0 || len(points) == 0 {
+		return ""
+	}
+	step := len(points) / n
+	if step < 1 {
+		step = 1
+	}
+	var parts []string
+	for i := 0; i < len(points); i += step {
+		parts = append(parts, fmt.Sprintf("%.0f:%.2f", points[i].X, points[i].Y))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vichar"
+)
+
+// AcceptanceThreshold defines saturation for SaturationRate: the
+// network is saturated at a given offered load when its accepted
+// throughput falls below this fraction of the offered traffic (or the
+// run cannot meet its ejection quota at all). Unlike a
+// latency-multiple criterion, acceptance is comparable across
+// architectures with different zero-load latencies.
+const AcceptanceThreshold = 0.95
+
+// SaturationRate estimates a configuration's saturation throughput in
+// flits/node/cycle by bisecting the offered load: the returned rate
+// is the highest at which the network still accepts at least
+// AcceptanceThreshold of the offered flits, within tol. The
+// configuration's InjectionRate field is ignored.
+func SaturationRate(cfg vichar.Config, opts Options, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	nodes := float64(cfg.Nodes())
+	saturatedAt := func(rate float64) (bool, error) {
+		c := opts.apply(cfg)
+		c.InjectionRate = rate
+		res, err := vichar.Run(c)
+		if err != nil {
+			return false, err
+		}
+		if res.Saturated {
+			return true, nil
+		}
+		offered := rate * nodes
+		return res.Throughput < AcceptanceThreshold*offered, nil
+	}
+
+	lo, hi := 0.02, 1.0
+	if sat, err := saturatedAt(lo); err != nil {
+		return 0, fmt.Errorf("experiments: low-load probe: %w", err)
+	} else if sat {
+		return 0, fmt.Errorf("experiments: network saturated at the %.2f low-load probe", lo)
+	}
+	// If even full load is accepted the network never saturates for
+	// this workload.
+	if sat, err := saturatedAt(hi); err != nil {
+		return 0, err
+	} else if !sat {
+		return hi, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		sat, err := saturatedAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if sat {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}

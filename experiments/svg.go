@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable series colors (Okabe-Ito, color
+// blind safe).
+var svgPalette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#56B4E9", "#E69F00", "#000000", "#F0E442",
+}
+
+// svgMarkers cycles through point-marker shapes alongside colors.
+var svgMarkers = []string{"circle", "square", "diamond", "triangle"}
+
+// SVG renders the outcome as a self-contained SVG line chart with
+// axes, tick labels, per-series markers and a legend — a publishable
+// rendition of the paper figure. Error bars appear when the points
+// carry replicate standard errors.
+func (o *Outcome) SVG(width, height int) string {
+	const (
+		marginL = 64.0
+		marginR = 16.0
+		marginT = 40.0
+		marginB = 56.0
+	)
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, s := range o.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y+p.YErr)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.05 // headroom
+
+	sx := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginT + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		width, height, width, height)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	b.WriteString("\n")
+
+	// Title.
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="13" font-weight="bold">%s — %s</text>`,
+		marginL, svgEscape(strings.ToUpper(o.Experiment.ID)), svgEscape(o.Experiment.Title))
+	b.WriteString("\n")
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	b.WriteString("\n")
+
+	// Ticks: five per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+			sx(fx), marginT+plotH, sx(fx), marginT+plotH+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`,
+			sx(fx), marginT+plotH+18, trimFloat(fx))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+			marginL-4, sy(fy), marginL, sy(fy))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`,
+			marginL-7, sy(fy)+4, trimFloat(fy))
+		// light gridline
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`,
+			marginL, sy(fy), marginL+plotW, sy(fy))
+		b.WriteString("\n")
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, float64(height)-12, svgEscape(o.Experiment.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, svgEscape(o.Experiment.Metric.String()))
+	b.WriteString("\n")
+
+	// Series.
+	for si, s := range o.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if len(s.Points) > 1 {
+			var pts []string
+			for _, p := range s.Points {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`,
+				strings.Join(pts, " "), color)
+			b.WriteString("\n")
+		}
+		for _, p := range s.Points {
+			if p.YErr > 0 {
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`,
+					sx(p.X), sy(p.Y-p.YErr), sx(p.X), sy(p.Y+p.YErr), color)
+			}
+			b.WriteString(svgMarker(svgMarkers[si%len(svgMarkers)], sx(p.X), sy(p.Y), color))
+		}
+		b.WriteString("\n")
+	}
+
+	// Legend (top-left inside the plot).
+	for si, s := range o.Series {
+		color := svgPalette[si%len(svgPalette)]
+		y := marginT + 14 + float64(si)*15
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.5"/>`,
+			marginL+8, y-4, marginL+28, y-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`, marginL+33, y, svgEscape(s.Name))
+		b.WriteString("\n")
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgMarker emits one data-point marker.
+func svgMarker(shape string, x, y float64, color string) string {
+	const r = 3.0
+	switch shape {
+	case "square":
+		return fmt.Sprintf(`<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`,
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		return fmt.Sprintf(`<polygon points="%g,%g %g,%g %g,%g %g,%g" fill="%s"/>`,
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		return fmt.Sprintf(`<polygon points="%g,%g %g,%g %g,%g" fill="%s"/>`,
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default:
+		return fmt.Sprintf(`<circle cx="%g" cy="%g" r="%g" fill="%s"/>`, x, y, r, color)
+	}
+}
+
+// trimFloat prints a tick value without trailing noise.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// svgEscape escapes XML-special characters in labels.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,3 @@
+module vichar
+
+go 1.22

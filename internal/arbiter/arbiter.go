@@ -1,0 +1,132 @@
+// Package arbiter provides the arbitration primitives used by the
+// virtual-channel and switch allocators: a round-robin arbiter with a
+// rotating priority pointer and a matrix arbiter maintaining a
+// least-recently-served partial order. Both are strongly fair: a
+// persistent requester is served within N grants.
+package arbiter
+
+import "fmt"
+
+// Arbiter selects one winner among a set of requesters each cycle.
+type Arbiter interface {
+	// Arbitrate picks a winner among the indices whose requests[i] is
+	// true and updates internal priority state. It returns -1 when
+	// nothing is requested.
+	Arbitrate(requests []bool) int
+	// Size returns the number of request inputs.
+	Size() int
+	// Reset restores the initial priority state.
+	Reset()
+}
+
+// RoundRobin is a rotating-priority arbiter: after a grant the
+// priority pointer moves to the requester after the winner, so each
+// input is at most n-1 grants away from being highest priority.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n inputs.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic(fmt.Sprintf("arbiter: size must be positive, got %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size returns the number of request inputs.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Reset restores the priority pointer to input 0.
+func (a *RoundRobin) Reset() { a.next = 0 }
+
+// Arbitrate grants the first requester at or after the priority
+// pointer, then advances the pointer past the winner.
+func (a *RoundRobin) Arbitrate(requests []bool) int {
+	if len(requests) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests for a %d-input arbiter", len(requests), a.n))
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// Matrix is a least-recently-served arbiter: a triangular matrix of
+// precedence bits; the winner is the requester that has precedence
+// over every other requester, and granting clears its precedence.
+// This is the classical design used in VC router allocators.
+type Matrix struct {
+	n    int
+	prec [][]bool // prec[i][j]: i has priority over j
+}
+
+// NewMatrix returns a matrix arbiter over n inputs with initial
+// priority order 0 > 1 > ... > n-1.
+func NewMatrix(n int) *Matrix {
+	if n < 1 {
+		panic(fmt.Sprintf("arbiter: size must be positive, got %d", n))
+	}
+	m := &Matrix{n: n, prec: make([][]bool, n)}
+	for i := range m.prec {
+		m.prec[i] = make([]bool, n)
+	}
+	m.Reset()
+	return m
+}
+
+// Size returns the number of request inputs.
+func (m *Matrix) Size() int { return m.n }
+
+// Reset restores the initial priority order 0 > 1 > ... > n-1.
+func (m *Matrix) Reset() {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			m.prec[i][j] = i < j
+		}
+	}
+}
+
+// Arbitrate grants the requester that has precedence over all other
+// current requesters, then demotes it below everyone.
+func (m *Matrix) Arbitrate(requests []bool) int {
+	if len(requests) != m.n {
+		panic(fmt.Sprintf("arbiter: got %d requests for a %d-input arbiter", len(requests), m.n))
+	}
+	winner := -1
+	for i := 0; i < m.n; i++ {
+		if !requests[i] {
+			continue
+		}
+		ok := true
+		for j := 0; j < m.n; j++ {
+			if j != i && requests[j] && !m.prec[i][j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			winner = i
+			break
+		}
+	}
+	if winner >= 0 {
+		for j := 0; j < m.n; j++ {
+			if j != winner {
+				m.prec[winner][j] = false
+				m.prec[j][winner] = true
+			}
+		}
+	}
+	return winner
+}
+
+var (
+	_ Arbiter = (*RoundRobin)(nil)
+	_ Arbiter = (*Matrix)(nil)
+)

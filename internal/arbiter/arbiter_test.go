@@ -1,0 +1,206 @@
+package arbiter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func arbiters(n int) map[string]Arbiter {
+	return map[string]Arbiter{
+		"roundrobin": NewRoundRobin(n),
+		"matrix":     NewMatrix(n),
+	}
+}
+
+func TestNoRequestsNoWinner(t *testing.T) {
+	for name, a := range arbiters(4) {
+		if w := a.Arbitrate(make([]bool, 4)); w != -1 {
+			t.Errorf("%s: empty request vector granted %d", name, w)
+		}
+	}
+}
+
+func TestSingleRequester(t *testing.T) {
+	for name, a := range arbiters(5) {
+		for i := 0; i < 5; i++ {
+			req := make([]bool, 5)
+			req[i] = true
+			if w := a.Arbitrate(req); w != i {
+				t.Errorf("%s: sole requester %d got %d", name, i, w)
+			}
+		}
+	}
+}
+
+func TestWinnerAlwaysRequested(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, a := range arbiters(8) {
+		for trial := 0; trial < 500; trial++ {
+			req := make([]bool, 8)
+			any := false
+			for i := range req {
+				req[i] = rng.Intn(2) == 0
+				any = any || req[i]
+			}
+			w := a.Arbitrate(req)
+			if !any {
+				if w != -1 {
+					t.Fatalf("%s: granted %d with no requests", name, w)
+				}
+				continue
+			}
+			if w < 0 || !req[w] {
+				t.Fatalf("%s: granted non-requesting input %d of %v", name, w, req)
+			}
+		}
+	}
+}
+
+// Strong fairness: under full contention every input is served
+// exactly once per n grants.
+func TestFullContentionRoundRobin(t *testing.T) {
+	const n = 6
+	for name, a := range arbiters(n) {
+		req := make([]bool, n)
+		for i := range req {
+			req[i] = true
+		}
+		seen := make(map[int]int)
+		for i := 0; i < n*10; i++ {
+			seen[a.Arbitrate(req)]++
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 10 {
+				t.Errorf("%s: input %d served %d times of 10", name, i, seen[i])
+			}
+		}
+	}
+}
+
+// Starvation freedom: a persistent requester is served within n
+// grants no matter what the other inputs do.
+func TestStarvationFreedom(t *testing.T) {
+	const n = 7
+	rng := rand.New(rand.NewSource(2))
+	for name, a := range arbiters(n) {
+		persistent := 3
+		waited := 0
+		for round := 0; round < 1000; round++ {
+			req := make([]bool, n)
+			req[persistent] = true
+			for i := range req {
+				if i != persistent && rng.Intn(2) == 0 {
+					req[i] = true
+				}
+			}
+			if a.Arbitrate(req) == persistent {
+				waited = 0
+			} else {
+				waited++
+				if waited >= n {
+					t.Fatalf("%s: input %d starved for %d grants", name, persistent, waited)
+				}
+			}
+		}
+	}
+}
+
+// Matrix arbiter property: the winner is always least recently served
+// among current requesters.
+func TestMatrixLeastRecentlyServed(t *testing.T) {
+	const n = 5
+	m := NewMatrix(n)
+	lastServed := make([]int, n)
+	for i := range lastServed {
+		// Initial priority order 0 > 1 > ... means input 0 acts as
+		// the least recently served.
+		lastServed[i] = i - n
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 2000; round++ {
+		req := make([]bool, n)
+		any := false
+		for i := range req {
+			req[i] = rng.Intn(3) != 0
+			any = any || req[i]
+		}
+		w := m.Arbitrate(req)
+		if !any {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if req[i] && lastServed[i] < lastServed[w] {
+				t.Fatalf("round %d: granted %d (served %d) over older requester %d (served %d)",
+					round, w, lastServed[w], i, lastServed[i])
+			}
+		}
+		lastServed[w] = round
+	}
+}
+
+func TestReset(t *testing.T) {
+	for name, a := range arbiters(4) {
+		req := []bool{true, true, true, true}
+		first := a.Arbitrate(req)
+		a.Arbitrate(req)
+		a.Reset()
+		if got := a.Arbitrate(req); got != first {
+			t.Errorf("%s: after reset granted %d, want %d", name, got, first)
+		}
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	for name, a := range arbiters(4) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: size mismatch did not panic", name)
+				}
+			}()
+			a.Arbitrate(make([]bool, 3))
+		}()
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	for _, mk := range []func() Arbiter{
+		func() Arbiter { return NewRoundRobin(0) },
+		func() Arbiter { return NewMatrix(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructing a zero/negative arbiter did not panic")
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+func TestSize(t *testing.T) {
+	if NewRoundRobin(9).Size() != 9 || NewMatrix(9).Size() != 9 {
+		t.Error("Size does not echo construction size")
+	}
+}
+
+// Property: both arbiters agree that a winner exists iff a request
+// exists.
+func TestWinnerExistenceProperty(t *testing.T) {
+	prop := func(bits uint16) bool {
+		req := make([]bool, 16)
+		any := false
+		for i := range req {
+			req[i] = bits&(1<<i) != 0
+			any = any || req[i]
+		}
+		rr := NewRoundRobin(16).Arbitrate(req)
+		mx := NewMatrix(16).Arbitrate(req)
+		return (rr >= 0) == any && (mx >= 0) == any
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package buffers implements the router input-buffer organizations
+// the paper compares against: the conventional statically partitioned
+// per-VC FIFO buffer ("GEN"), the Dynamically Allocated Multi-Queue
+// (DAMQ, Tamir & Frazier 1988) and the Fully Connected Circular
+// Buffer (FC-CB, Ni et al. 1998). The ViChaR unified buffer itself —
+// the paper's contribution — lives in internal/core and satisfies the
+// same Buffer interface.
+package buffers
+
+import (
+	"errors"
+
+	"vichar/internal/flit"
+)
+
+// Common buffer errors.
+var (
+	// ErrFull is returned by Write when no slot is available for the
+	// flit (the caller violated credit-based flow control).
+	ErrFull = errors.New("buffers: no free slot (credit violation)")
+	// ErrEmpty is returned by Pop when the virtual channel holds no
+	// readable flit.
+	ErrEmpty = errors.New("buffers: virtual channel empty")
+	// ErrBadVC is returned when a flit names a virtual channel the
+	// buffer does not have.
+	ErrBadVC = errors.New("buffers: virtual channel out of range")
+)
+
+// Buffer is the storage of one router input port. The router's
+// per-VC state machines and the upstream credit bookkeeping enforce
+// flow control; the buffer only stores flits and preserves per-VC
+// FIFO order. The now parameters let architectures with multi-cycle
+// bookkeeping (DAMQ) defer flit visibility.
+type Buffer interface {
+	// Slots returns the total flit capacity of the port.
+	Slots() int
+	// MaxVCs returns the number of virtual channel identifiers.
+	MaxVCs() int
+	// FreeSlotsFor returns how many more flits could currently be
+	// written to the given VC: remaining private depth for statically
+	// partitioned buffers, the shared pool headroom for unified ones.
+	FreeSlotsFor(vc int) int
+	// Write stores f (on channel f.VC), stamping f.ArrivedAt = now.
+	Write(f *flit.Flit, now int64) error
+	// Front returns the flit at the head of vc if it is readable at
+	// cycle now, or nil.
+	Front(vc int, now int64) *flit.Flit
+	// Pop removes and returns the head of vc. It fails if Front would
+	// have returned nil.
+	Pop(vc int, now int64) (*flit.Flit, error)
+	// Len returns the number of flits buffered on vc (including ones
+	// not yet visible to readers).
+	Len(vc int) int
+	// Occupied returns the total number of flits currently stored.
+	Occupied() int
+	// InUseVCs returns how many VCs currently hold at least one flit.
+	InUseVCs() int
+}
+
+// fifo is a slice-backed FIFO with O(1) amortized operations; it
+// recycles its backing array once the head index grows past half the
+// capacity.
+type fifo struct {
+	items []*flit.Flit
+	head  int
+}
+
+func (q *fifo) push(f *flit.Flit) { q.items = append(q.items, f) }
+
+func (q *fifo) pop() *flit.Flit {
+	f := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > len(q.items)/2 && q.head > 8 {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return f
+}
+
+func (q *fifo) front() *flit.Flit {
+	if q.len() == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }

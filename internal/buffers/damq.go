@@ -1,0 +1,137 @@
+package buffers
+
+import (
+	"fmt"
+
+	"vichar/internal/flit"
+)
+
+// DAMQ models the Dynamically Allocated Multi-Queue buffer of Tamir &
+// Frazier (ISCA 1988): a unified pool of slots shared by a fixed
+// number of queues (virtual channels). Its linked-list control logic
+// — pointer registers and a free list that must be updated on every
+// access — costs three cycles per flit arrival and departure (paper
+// §2, citing Frazier & Tamir, ICCD 1989). We model that penalty as:
+//
+//   - an arriving flit becomes visible to the switch allocator only
+//     delay cycles after it is written, and
+//   - after a departure the queue's read port is busy for delay
+//     cycles before the next flit can be read.
+//
+// Storage is fully shared, so a congested VC can use slots an idle VC
+// is not using — but the VC count is fixed, and several packets share
+// one queue in FIFO order, preserving head-of-line blocking.
+type DAMQ struct {
+	vcs   int
+	slots int
+	delay int64
+	qs    []fifo
+	occ   int
+	// readReadyAt[vc] is the first cycle the queue may be read again
+	// after its previous departure.
+	readReadyAt []int64
+}
+
+// NewDAMQ returns a DAMQ with the given fixed VC count, shared slot
+// pool size and per-access bookkeeping delay in cycles.
+func NewDAMQ(vcs, slots, delay int) *DAMQ {
+	if vcs < 1 || slots < vcs {
+		panic(fmt.Sprintf("buffers: DAMQ needs at least one slot per VC, got %d VCs, %d slots", vcs, slots))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("buffers: DAMQ delay cannot be negative, got %d", delay))
+	}
+	return &DAMQ{
+		vcs:         vcs,
+		slots:       slots,
+		delay:       int64(delay),
+		qs:          make([]fifo, vcs),
+		readReadyAt: make([]int64, vcs),
+	}
+}
+
+// Slots returns the shared pool size.
+func (b *DAMQ) Slots() int { return b.slots }
+
+// MaxVCs returns the fixed queue count.
+func (b *DAMQ) MaxVCs() int { return b.vcs }
+
+// FreeSlotsFor returns the shared pool headroom (identical for every
+// VC).
+func (b *DAMQ) FreeSlotsFor(vc int) int {
+	if vc < 0 || vc >= b.vcs {
+		return 0
+	}
+	return b.slots - b.occ
+}
+
+// Write claims a shared slot for f on queue f.VC.
+func (b *DAMQ) Write(f *flit.Flit, now int64) error {
+	if f.VC < 0 || f.VC >= b.vcs {
+		return fmt.Errorf("%w: vc %d of %d", ErrBadVC, f.VC, b.vcs)
+	}
+	if b.occ >= b.slots {
+		return fmt.Errorf("%w: pool %d/%d", ErrFull, b.occ, b.slots)
+	}
+	f.ArrivedAt = now
+	b.qs[f.VC].push(f)
+	b.occ++
+	return nil
+}
+
+// Front returns the queue head once both the arrival bookkeeping
+// (ArrivedAt+delay) and the read-port busy window have elapsed.
+func (b *DAMQ) Front(vc int, now int64) *flit.Flit {
+	if vc < 0 || vc >= b.vcs {
+		return nil
+	}
+	f := b.qs[vc].front()
+	if f == nil {
+		return nil
+	}
+	visible := f.ArrivedAt + b.delay
+	if b.delay == 0 {
+		visible = f.ArrivedAt + 1
+	}
+	if now < visible || now < b.readReadyAt[vc] {
+		return nil
+	}
+	return f
+}
+
+// Pop removes the queue head and occupies the read port for the
+// bookkeeping delay.
+func (b *DAMQ) Pop(vc int, now int64) (*flit.Flit, error) {
+	if b.Front(vc, now) == nil {
+		return nil, fmt.Errorf("%w: vc %d", ErrEmpty, vc)
+	}
+	b.occ--
+	if b.delay > 0 {
+		b.readReadyAt[vc] = now + b.delay
+	}
+	return b.qs[vc].pop(), nil
+}
+
+// Len returns the number of flits on the queue, visible or not.
+func (b *DAMQ) Len(vc int) int {
+	if vc < 0 || vc >= b.vcs {
+		return 0
+	}
+	return b.qs[vc].len()
+}
+
+// Occupied returns the total stored flit count.
+func (b *DAMQ) Occupied() int { return b.occ }
+
+// InUseVCs returns the number of non-empty queues.
+func (b *DAMQ) InUseVCs() int {
+	n := 0
+	for i := range b.qs {
+		if b.qs[i].len() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Buffer = (*DAMQ)(nil)

@@ -1,0 +1,103 @@
+package buffers
+
+import (
+	"fmt"
+
+	"vichar/internal/flit"
+)
+
+// Generic is the conventional statically partitioned input buffer:
+// v independent FIFO queues, one per virtual channel, each with a
+// private depth of k flits (paper Figure 2, "parallel FIFO
+// implementation"). A slot that belongs to VC i can never hold a flit
+// of VC j — exactly the under-utilization Figure 3 criticizes.
+type Generic struct {
+	vcs   int
+	depth int
+	qs    []fifo
+	occ   int
+}
+
+// NewGeneric returns a buffer of vcs FIFO queues, each depth flits
+// deep.
+func NewGeneric(vcs, depth int) *Generic {
+	if vcs < 1 || depth < 1 {
+		panic(fmt.Sprintf("buffers: generic buffer needs positive shape, got %dx%d", vcs, depth))
+	}
+	return &Generic{vcs: vcs, depth: depth, qs: make([]fifo, vcs)}
+}
+
+// Slots returns vcs*depth.
+func (b *Generic) Slots() int { return b.vcs * b.depth }
+
+// MaxVCs returns the fixed VC count.
+func (b *Generic) MaxVCs() int { return b.vcs }
+
+// FreeSlotsFor returns the remaining private depth of the VC.
+func (b *Generic) FreeSlotsFor(vc int) int {
+	if vc < 0 || vc >= b.vcs {
+		return 0
+	}
+	return b.depth - b.qs[vc].len()
+}
+
+// Write appends f to its VC's private queue.
+func (b *Generic) Write(f *flit.Flit, now int64) error {
+	if f.VC < 0 || f.VC >= b.vcs {
+		return fmt.Errorf("%w: vc %d of %d", ErrBadVC, f.VC, b.vcs)
+	}
+	q := &b.qs[f.VC]
+	if q.len() >= b.depth {
+		return fmt.Errorf("%w: vc %d already holds %d/%d flits", ErrFull, f.VC, q.len(), b.depth)
+	}
+	f.ArrivedAt = now
+	q.push(f)
+	b.occ++
+	return nil
+}
+
+// Front returns the head of the VC's queue; flits are readable from
+// the cycle after they were written (buffer-write stage).
+func (b *Generic) Front(vc int, now int64) *flit.Flit {
+	if vc < 0 || vc >= b.vcs {
+		return nil
+	}
+	f := b.qs[vc].front()
+	if f == nil || f.ArrivedAt >= now {
+		return nil
+	}
+	return f
+}
+
+// Pop removes the head of the VC's queue.
+func (b *Generic) Pop(vc int, now int64) (*flit.Flit, error) {
+	if b.Front(vc, now) == nil {
+		return nil, fmt.Errorf("%w: vc %d", ErrEmpty, vc)
+	}
+	b.occ--
+	return b.qs[vc].pop(), nil
+}
+
+// Len returns the number of flits on the VC.
+func (b *Generic) Len(vc int) int {
+	if vc < 0 || vc >= b.vcs {
+		return 0
+	}
+	return b.qs[vc].len()
+}
+
+// Occupied returns the total stored flit count.
+func (b *Generic) Occupied() int { return b.occ }
+
+// InUseVCs returns the number of non-empty queues.
+func (b *Generic) InUseVCs() int {
+	n := 0
+	for i := range b.qs {
+		if b.qs[i].len() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Buffer = (*Generic)(nil)

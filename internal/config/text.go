@@ -1,0 +1,133 @@
+package config
+
+import "fmt"
+
+// The enums implement encoding.TextMarshaler/TextUnmarshaler so
+// configurations serialize with readable names (JSON, flags, files).
+// Unmarshaling accepts the canonical String() form plus the common
+// aliases used on command lines.
+
+// ParseBufferArch parses a buffer architecture name.
+func ParseBufferArch(s string) (BufferArch, error) {
+	switch normalize(s) {
+	case "generic", "gen":
+		return Generic, nil
+	case "vichar", "vic":
+		return ViChaR, nil
+	case "damq":
+		return DAMQ, nil
+	case "fccb", "fc-cb":
+		return FCCB, nil
+	default:
+		return 0, fmt.Errorf("config: unknown buffer architecture %q (generic|vichar|damq|fccb)", s)
+	}
+}
+
+// ParseRouting parses a routing algorithm name.
+func ParseRouting(s string) (RoutingAlg, error) {
+	switch normalize(s) {
+	case "xy":
+		return XY, nil
+	case "adaptive", "minadaptive", "minimal-adaptive":
+		return MinimalAdaptive, nil
+	default:
+		return 0, fmt.Errorf("config: unknown routing algorithm %q (xy|adaptive)", s)
+	}
+}
+
+// ParseTraffic parses a traffic process name.
+func ParseTraffic(s string) (TrafficProcess, error) {
+	switch normalize(s) {
+	case "ur", "uniform", "uniformrandom":
+		return UniformRandom, nil
+	case "ss", "selfsimilar", "self-similar":
+		return SelfSimilar, nil
+	default:
+		return 0, fmt.Errorf("config: unknown traffic process %q (ur|ss)", s)
+	}
+}
+
+// ParseDest parses a destination pattern name.
+func ParseDest(s string) (DestPattern, error) {
+	switch normalize(s) {
+	case "nr", "random", "normalrandom":
+		return NormalRandom, nil
+	case "tornado", "tn":
+		return Tornado, nil
+	case "transpose", "tp":
+		return Transpose, nil
+	case "bitcomplement", "bit-complement", "bc":
+		return BitComplement, nil
+	case "hotspot", "hs":
+		return Hotspot, nil
+	default:
+		return 0, fmt.Errorf("config: unknown destination pattern %q (nr|tornado|transpose|bitcomplement|hotspot)", s)
+	}
+}
+
+func normalize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			continue
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// MarshalText returns the canonical label.
+func (a BufferArch) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses a buffer architecture name.
+func (a *BufferArch) UnmarshalText(b []byte) error {
+	v, err := ParseBufferArch(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// MarshalText returns the canonical label.
+func (r RoutingAlg) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText parses a routing algorithm name.
+func (r *RoutingAlg) UnmarshalText(b []byte) error {
+	v, err := ParseRouting(string(b))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// MarshalText returns the canonical label.
+func (t TrafficProcess) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses a traffic process name.
+func (t *TrafficProcess) UnmarshalText(b []byte) error {
+	v, err := ParseTraffic(string(b))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// MarshalText returns the canonical label.
+func (d DestPattern) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText parses a destination pattern name.
+func (d *DestPattern) UnmarshalText(b []byte) error {
+	v, err := ParseDest(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}

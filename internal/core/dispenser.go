@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// Dispenser is the Token (VC) Dispenser: virtual channels are tokens,
+// "granted to new packets and then returned to the dispenser upon
+// release" (paper §3.2.2). Grants are first-come-first-served — the
+// dispenser never prioritizes flits of existing VCs — which is what
+// lets ViChaR self-throttle: heavy traffic wins more grants and gets
+// many shallow VCs; light traffic requests few grants and the
+// resident VCs enjoy the full buffer depth.
+//
+// When adaptive routing can deadlock, a configurable number of tokens
+// are designated escape (drain) channels; they are granted only to
+// packets that have been re-channelled onto the deterministic escape
+// path after exceeding the deadlock threshold. The highest-numbered
+// VC IDs are the escape set.
+//
+// In the full router one Dispenser instance lives at each output
+// port, mirroring the VC availability of the downstream input port —
+// the placement of paper Figure 6.
+type Dispenser struct {
+	normal *Tracker
+	escape *Tracker
+	// escBase is the first escape VC ID.
+	escBase int
+}
+
+// NewDispenser returns a dispenser over vcs tokens of which escapeVCs
+// (the highest-numbered IDs) are reserved for deadlock recovery.
+// escapeVCs may be zero when the routing function is inherently
+// deadlock-free.
+func NewDispenser(vcs, escapeVCs int) *Dispenser {
+	if vcs < 1 {
+		panic(fmt.Sprintf("core: dispenser needs at least one token, got %d", vcs))
+	}
+	if escapeVCs < 0 || escapeVCs >= vcs {
+		panic(fmt.Sprintf("core: escape VCs (%d) must leave at least one regular token of %d", escapeVCs, vcs))
+	}
+	d := &Dispenser{escBase: vcs - escapeVCs}
+	d.normal = NewTracker(vcs - escapeVCs)
+	if escapeVCs > 0 {
+		d.escape = NewTracker(escapeVCs)
+	}
+	return d
+}
+
+// Tokens returns the total number of VC tokens.
+func (d *Dispenser) Tokens() int {
+	n := d.normal.Size()
+	if d.escape != nil {
+		n += d.escape.Size()
+	}
+	return n
+}
+
+// FreeNormal returns the number of available regular tokens.
+func (d *Dispenser) FreeNormal() int { return d.normal.Free() }
+
+// FreeEscape returns the number of available escape tokens.
+func (d *Dispenser) FreeEscape() int {
+	if d.escape == nil {
+		return 0
+	}
+	return d.escape.Free()
+}
+
+// InUse returns the number of dispensed (outstanding) tokens; this is
+// the "number of VCs dispensed" metric of paper Figures 13(e)/(f).
+func (d *Dispenser) InUse() int { return d.Tokens() - d.FreeNormal() - d.FreeEscape() }
+
+// Grant dispenses the next free token FCFS. With escape set, the
+// grant comes from the escape set (deadlock recovery path of paper
+// Figure 10's flow diagram); otherwise from the regular set. It
+// returns ok=false when the relevant availability table is all-zero,
+// in which case the dispenser "stops granting new VCs to requesting
+// packets".
+func (d *Dispenser) Grant(escape bool) (vc int, ok bool) {
+	if escape {
+		if d.escape == nil {
+			return -1, false
+		}
+		i := d.escape.Acquire()
+		if i < 0 {
+			return -1, false
+		}
+		return d.escBase + i, true
+	}
+	i := d.normal.Acquire()
+	if i < 0 {
+		return -1, false
+	}
+	return i, true
+}
+
+// IsEscape reports whether the VC ID belongs to the escape set.
+func (d *Dispenser) IsEscape(vc int) bool {
+	return d.escape != nil && vc >= d.escBase
+}
+
+// Return releases a previously granted token (the packet's tail left
+// the downstream buffer).
+func (d *Dispenser) Return(vc int) {
+	if vc < 0 || vc >= d.Tokens() {
+		panic(fmt.Sprintf("core: return of token %d outside dispenser of %d", vc, d.Tokens()))
+	}
+	if vc >= d.escBase && d.escape != nil {
+		d.escape.Release(vc - d.escBase)
+		return
+	}
+	d.normal.Release(vc)
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Table is the VC Control Table, "the central hub of ViChaR's
+// operation" (paper §3.2.2): one row per virtual channel ID, each row
+// holding, in arrival order, the slot IDs of the flits that VC
+// currently owns in the unified buffer. Rows are NULLed (emptied) to
+// mark free VCs; a VC's slots may be non-consecutive, which is what
+// frees ViChaR from the contiguity constraints of static buffers.
+//
+// The Arriving Flit Pointer of a VC corresponds to appending to its
+// row; the Departing Flit Pointer is the row's first entry.
+type Table struct {
+	rows   [][]int
+	active int
+}
+
+// NewTable returns a control table with vcs rows (the paper sizes it
+// at vk rows so every slot can be its own VC).
+func NewTable(vcs int) *Table {
+	if vcs < 1 {
+		panic(fmt.Sprintf("core: control table needs at least one row, got %d", vcs))
+	}
+	return &Table{rows: make([][]int, vcs)}
+}
+
+// Rows returns the number of VC rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// ActiveRows returns the number of rows currently holding at least
+// one slot ID (in-use VCs with buffered flits).
+func (t *Table) ActiveRows() int { return t.active }
+
+// Len returns the number of slots row vc currently holds.
+func (t *Table) Len(vc int) int {
+	if vc < 0 || vc >= len(t.rows) {
+		return 0
+	}
+	return len(t.rows[vc])
+}
+
+// Append records that the newest flit of VC vc was steered into slot.
+func (t *Table) Append(vc, slot int) {
+	if vc < 0 || vc >= len(t.rows) {
+		panic(fmt.Sprintf("core: control table append to row %d of %d", vc, len(t.rows)))
+	}
+	if len(t.rows[vc]) == 0 {
+		t.active++
+	}
+	t.rows[vc] = append(t.rows[vc], slot)
+}
+
+// Head returns the slot ID of VC vc's departing-flit pointer (its
+// first non-NULL entry), or -1 when the row is empty.
+func (t *Table) Head(vc int) int {
+	if vc < 0 || vc >= len(t.rows) || len(t.rows[vc]) == 0 {
+		return -1
+	}
+	return t.rows[vc][0]
+}
+
+// PopHead NULLs out VC vc's first entry (its flit departed) and
+// returns the freed slot ID. It panics on an empty row — the router
+// must not dequeue from an empty VC.
+func (t *Table) PopHead(vc int) int {
+	if vc < 0 || vc >= len(t.rows) || len(t.rows[vc]) == 0 {
+		panic(fmt.Sprintf("core: control table pop from empty row %d", vc))
+	}
+	row := t.rows[vc]
+	slot := row[0]
+	n := copy(row, row[1:])
+	t.rows[vc] = row[:n]
+	if n == 0 {
+		t.active--
+	}
+	return slot
+}
+
+// Slots returns a copy of VC vc's slot list in FIFO order; intended
+// for tests and diagnostics.
+func (t *Table) Slots(vc int) []int {
+	if vc < 0 || vc >= len(t.rows) {
+		return nil
+	}
+	out := make([]int, len(t.rows[vc]))
+	copy(out, t.rows[vc])
+	return out
+}

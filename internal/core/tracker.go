@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// Tracker is the availability bookkeeping shared by the Slot
+// Availability Tracker and the VC Availability Tracker (paper Figure
+// 9 bottom-right and Figure 10 top-left): one bit per entry — 1 for
+// available, 0 for occupied — plus a pointer to the top-most
+// available entry. Acquire and Release are O(1) amortized, matching
+// the combinational single-cycle hardware.
+type Tracker struct {
+	avail []bool
+	free  int
+	// next caches the top-most available pointer; it is advanced
+	// lazily and wraps on release of a lower index.
+	next int
+}
+
+// NewTracker returns a tracker over n entries, all available.
+func NewTracker(n int) *Tracker {
+	if n < 1 {
+		panic(fmt.Sprintf("core: tracker needs at least one entry, got %d", n))
+	}
+	t := &Tracker{avail: make([]bool, n), free: n}
+	for i := range t.avail {
+		t.avail[i] = true
+	}
+	return t
+}
+
+// Size returns the number of tracked entries.
+func (t *Tracker) Size() int { return len(t.avail) }
+
+// Free returns the number of available entries.
+func (t *Tracker) Free() int { return t.free }
+
+// Available reports whether entry i is free.
+func (t *Tracker) Available(i int) bool {
+	return i >= 0 && i < len(t.avail) && t.avail[i]
+}
+
+// Acquire claims and returns the top-most available entry, or -1 when
+// the table is all-zero (everything occupied) — the condition the
+// paper reflects into the credit information sent to adjacent
+// routers.
+func (t *Tracker) Acquire() int {
+	if t.free == 0 {
+		return -1
+	}
+	n := len(t.avail)
+	for i := 0; i < n; i++ {
+		idx := (t.next + i) % n
+		if t.avail[idx] {
+			t.avail[idx] = false
+			t.free--
+			t.next = (idx + 1) % n
+			return idx
+		}
+	}
+	// Unreachable while free>0; keep the invariant loud if it breaks.
+	panic("core: tracker free count out of sync with bitmap")
+}
+
+// Release marks entry i available again. Releasing a free entry is a
+// bookkeeping bug and panics.
+func (t *Tracker) Release(i int) {
+	if i < 0 || i >= len(t.avail) {
+		panic(fmt.Sprintf("core: release of entry %d outside tracker of %d", i, len(t.avail)))
+	}
+	if t.avail[i] {
+		panic(fmt.Sprintf("core: double release of entry %d", i))
+	}
+	t.avail[i] = true
+	t.free++
+	if i < t.next {
+		t.next = i
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"vichar/internal/buffers"
+	"vichar/internal/flit"
+)
+
+// UBS is the Unified Buffer Structure of one router input port: a
+// pool of slots flits shared by up to slots virtual channels.
+// Physically it is the same storage as a generic v x k buffer —
+// "logically grouped in a single vk-flit entity" (paper §3.2) — so
+// its capacity is v*k, but any slot can serve any VC and a VC's slots
+// need not be consecutive.
+//
+// UBS implements buffers.Buffer. The arriving-flit path consults the
+// Slot Availability Tracker for a free slot and records it in the VC
+// Control Table; the departing-flit path reads the table row's first
+// entry. Both complete within the cycle, and flits become readable
+// the cycle after they are written (buffer-write stage), exactly like
+// the generic parallel FIFO.
+type UBS struct {
+	slots   []*flit.Flit
+	tracker *Tracker
+	table   *Table
+}
+
+// NewUBS returns a unified buffer with the given slot count. The
+// number of VC rows equals the slot count: under full load every slot
+// can be its own single-flit VC (paper Figure 5, rightmost
+// configuration).
+func NewUBS(slots int) *UBS { return NewUBSWithVCs(slots, slots) }
+
+// NewUBSWithVCs returns a unified buffer whose control table has
+// fewer VC rows than slots; used by the ablation that caps the Token
+// Dispenser below the full vk.
+func NewUBSWithVCs(slots, vcs int) *UBS {
+	if slots < 1 {
+		panic(fmt.Sprintf("core: UBS needs at least one slot, got %d", slots))
+	}
+	if vcs < 1 || vcs > slots {
+		panic(fmt.Sprintf("core: UBS VC rows must be in [1,%d], got %d", slots, vcs))
+	}
+	return &UBS{
+		slots:   make([]*flit.Flit, slots),
+		tracker: NewTracker(slots),
+		table:   NewTable(vcs),
+	}
+}
+
+// Slots returns the pool capacity.
+func (b *UBS) Slots() int { return len(b.slots) }
+
+// MaxVCs returns the number of VC identifiers (the control table's
+// row count; equal to the slot count unless capped).
+func (b *UBS) MaxVCs() int { return b.table.Rows() }
+
+// FreeSlotsFor returns the shared pool headroom; every VC sees the
+// same pool.
+func (b *UBS) FreeSlotsFor(vc int) int {
+	if vc < 0 || vc >= b.table.Rows() {
+		return 0
+	}
+	return b.tracker.Free()
+}
+
+// Write steers f into the slot indicated by the Slot Availability
+// Tracker and appends the slot ID to f.VC's control-table row.
+func (b *UBS) Write(f *flit.Flit, now int64) error {
+	if f.VC < 0 || f.VC >= b.table.Rows() {
+		return fmt.Errorf("%w: vc %d of %d", buffers.ErrBadVC, f.VC, b.table.Rows())
+	}
+	slot := b.tracker.Acquire()
+	if slot < 0 {
+		return fmt.Errorf("%w: all %d UBS slots occupied", buffers.ErrFull, len(b.slots))
+	}
+	f.ArrivedAt = now
+	b.slots[slot] = f
+	b.table.Append(f.VC, slot)
+	return nil
+}
+
+// Front returns the flit at the VC's departing-flit pointer if it is
+// readable this cycle.
+func (b *UBS) Front(vc int, now int64) *flit.Flit {
+	slot := b.table.Head(vc)
+	if slot < 0 {
+		return nil
+	}
+	f := b.slots[slot]
+	if f == nil {
+		panic(fmt.Sprintf("core: control table names empty slot %d for vc %d", slot, vc))
+	}
+	if f.ArrivedAt >= now {
+		return nil
+	}
+	return f
+}
+
+// Pop removes the VC's head flit, NULLing its table entry and
+// returning its slot to the tracker.
+func (b *UBS) Pop(vc int, now int64) (*flit.Flit, error) {
+	if b.Front(vc, now) == nil {
+		return nil, fmt.Errorf("%w: vc %d", buffers.ErrEmpty, vc)
+	}
+	slot := b.table.PopHead(vc)
+	f := b.slots[slot]
+	b.slots[slot] = nil
+	b.tracker.Release(slot)
+	return f, nil
+}
+
+// Len returns the number of flits the VC currently owns.
+func (b *UBS) Len(vc int) int { return b.table.Len(vc) }
+
+// Occupied returns the number of slots in use.
+func (b *UBS) Occupied() int { return len(b.slots) - b.tracker.Free() }
+
+// InUseVCs returns the number of VCs holding at least one flit.
+func (b *UBS) InUseVCs() int { return b.table.ActiveRows() }
+
+// SlotsOf exposes the VC's slot list for tests and diagnostics.
+func (b *UBS) SlotsOf(vc int) []int { return b.table.Slots(vc) }
+
+var _ buffers.Buffer = (*UBS)(nil)

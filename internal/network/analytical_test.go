@@ -1,0 +1,109 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vichar/internal/config"
+	"vichar/internal/topology"
+)
+
+// Zero-load latency must match the pipeline model analytically:
+// each of the H+1 routers on an H-hop path costs 4 cycles (RC, VA,
+// SA, ST+link folded), the injection link 1 cycle, and the tail
+// trails the head by size-1 cycles of serialization. This pins the
+// cycle accounting of the whole simulator against a closed form.
+func TestZeroLoadLatencyModel(t *testing.T) {
+	for _, arch := range allArchs {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			cfg := config.Default()
+			cfg.Width, cfg.Height = 6, 5
+			cfg.Arch = arch
+			cfg.InjectionRate = 0
+			cfg.WarmupPackets = 0
+			cfg.MeasurePackets = 1
+			cfg.DAMQDelay = 0 // isolate the pipeline from DAMQ's penalty
+			mesh := topology.New(cfg.Width, cfg.Height)
+
+			prop := func(a, b uint8) bool {
+				src := int(a) % mesh.Nodes()
+				dst := int(b) % mesh.Nodes()
+				if src == dst {
+					return true
+				}
+				n := New(&cfg)
+				p := n.InjectPacket(src, dst)
+				if left := n.Drain(10_000); left != 0 {
+					t.Logf("undelivered %d->%d", src, dst)
+					return false
+				}
+				hops := mesh.Hops(src, dst)
+				want := int64(4*(hops+1) + cfg.PacketSize - 1 + 1)
+				got := p.Latency()
+				if got < want-2 || got > want+2 {
+					t.Logf("%d->%d (H=%d): latency %d, model %d", src, dst, hops, got, want)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// The speculative pipeline's zero-load model: 3 cycles per router.
+func TestZeroLoadLatencyModelSpeculative(t *testing.T) {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 6, 5
+	cfg.Arch = config.ViChaR
+	cfg.Speculative = true
+	cfg.InjectionRate = 0
+	cfg.WarmupPackets = 0
+	cfg.MeasurePackets = 1
+	mesh := topology.New(cfg.Width, cfg.Height)
+
+	for _, pair := range [][2]int{{0, 29}, {5, 24}, {7, 22}, {0, 1}} {
+		n := New(&cfg)
+		p := n.InjectPacket(pair[0], pair[1])
+		if left := n.Drain(10_000); left != 0 {
+			t.Fatalf("undelivered %v", pair)
+		}
+		hops := mesh.Hops(pair[0], pair[1])
+		want := int64(3*(hops+1) + cfg.PacketSize - 1 + 1)
+		got := p.Latency()
+		if got < want-2 || got > want+2 {
+			t.Fatalf("%v (H=%d): speculative latency %d, model %d", pair, hops, got, want)
+		}
+	}
+}
+
+// DAMQ's bookkeeping penalty appears directly in zero-load latency:
+// roughly +delay cycles per traversed router.
+func TestZeroLoadDAMQPenalty(t *testing.T) {
+	lat := func(delay int) int64 {
+		cfg := config.Default()
+		cfg.Width, cfg.Height = 4, 4
+		cfg.Arch = config.DAMQ
+		cfg.DAMQDelay = delay
+		cfg.InjectionRate = 0
+		cfg.WarmupPackets = 0
+		cfg.MeasurePackets = 1
+		n := New(&cfg)
+		p := n.InjectPacket(0, 15)
+		if left := n.Drain(10_000); left != 0 {
+			t.Fatal("undelivered")
+		}
+		return p.Latency()
+	}
+	l0, l3 := lat(0), lat(3)
+	// 7 routers on the 6-hop path; the arrival-side penalty is
+	// delay-1 extra cycles per router versus the 1-cycle buffer
+	// write, and the read-port busy window costs more for the tail.
+	extra := l3 - l0
+	if extra < 7 || extra > 40 {
+		t.Fatalf("3-cycle DAMQ penalty added %d cycles over %d routers", extra, 7)
+	}
+}

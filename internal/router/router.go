@@ -1,0 +1,583 @@
+// Package router implements the 4-stage pipelined virtual-channel
+// router of the paper's evaluation platform: Routing Computation
+// (RC), Virtual-channel Allocation (VA), Switch Allocation (SA) and
+// crossbar traversal (ST), followed by a one-cycle link. Flow control
+// is credit-based wormhole.
+//
+// The input buffer organization is pluggable (buffers.Buffer), which
+// is how the same router hosts the generic, ViChaR, DAMQ and FC-CB
+// schemes; the VA structure switches between the generic two-stage
+// allocator of paper Figure 7(a) and ViChaR's input-port arbitration
+// plus Token Dispenser of Figure 7(b).
+package router
+
+import (
+	"fmt"
+
+	"vichar/internal/arbiter"
+	"vichar/internal/buffers"
+	"vichar/internal/config"
+	"vichar/internal/core"
+	"vichar/internal/flit"
+	"vichar/internal/routing"
+	"vichar/internal/stats"
+	"vichar/internal/topology"
+)
+
+// Pipeline latencies: a flit granted the switch at cycle t traverses
+// the crossbar at t+1 and the link at t+2 (arriving downstream at
+// t+2); a credit sent at t is visible upstream at t+1.
+const (
+	// FlitDelay is switch traversal plus link traversal in cycles.
+	FlitDelay = 2
+	// CreditDelay is the credit return latency in cycles.
+	CreditDelay = 1
+)
+
+// FlitSender carries flits downstream; implemented by network links.
+type FlitSender interface {
+	SendFlit(f *flit.Flit, now int64)
+}
+
+// CreditSender carries credits upstream; implemented by network
+// links.
+type CreditSender interface {
+	SendCredit(c flit.Credit, now int64)
+}
+
+// perVCAllocator is the extra allocation surface of fixed-VC credit
+// views (generic, DAMQ, FC-CB, sink): the generic two-stage VA picks
+// a specific output VC in stage 1 and claims it only if it wins
+// stage 2.
+type perVCAllocator interface {
+	// GrantableVC returns a grantable VC of the class, scanning
+	// round-robin from hint, or -1. It does not claim.
+	GrantableVC(escape bool, hint int) int
+	// ClaimVC marks the specific VC granted.
+	ClaimVC(vc int)
+}
+
+// VC allocation state machine of one input virtual channel.
+const (
+	vcIdle uint8 = iota
+	vcWaitVA
+	vcActive
+)
+
+type vcState struct {
+	state     uint8
+	pkt       *flit.Packet
+	cands     []int
+	outPort   int
+	outVC     int
+	waitSince int64
+}
+
+type inputPort struct {
+	buf    buffers.Buffer
+	vc     []vcState
+	credit CreditSender
+}
+
+type outputPort struct {
+	view CreditView
+	conn FlitSender
+}
+
+// Router is one 5-port pipelined NoC router.
+type Router struct {
+	id    int
+	cfg   *config.Config
+	mesh  topology.Mesh
+	route routing.Function
+
+	in  []*inputPort
+	out []*outputPort
+
+	maxVCs int
+	ports  int
+
+	vaS1  []*arbiter.RoundRobin   // per input port, over its VCs
+	vaS2  []*arbiter.RoundRobin   // ViChaR: per output port, over input ports
+	vaS2G [][]*arbiter.RoundRobin // generic: per output port per output VC, over input port x VC
+	saS1  []*arbiter.RoundRobin   // per input port, over its VCs
+	saS2  []*arbiter.RoundRobin   // per output port, over input ports
+
+	// Counters accumulates activity events since construction; the
+	// network snapshots it around the measurement window.
+	Counters stats.Counters
+
+	// scratch state reused across ticks to avoid per-cycle allocation
+	saNominee []int // per input port: winning VC or -1
+	vaReq     []bool
+	saReq     []bool
+}
+
+// routeFor returns the routing function implementation for the
+// configuration.
+func routeFor(cfg *config.Config) routing.Function {
+	if cfg.Routing == config.MinimalAdaptive {
+		return routing.MinimalAdaptive{}
+	}
+	return routing.XY{}
+}
+
+// newBuffer builds the input-port buffer for the configuration.
+func newBuffer(cfg *config.Config) buffers.Buffer {
+	switch cfg.Arch {
+	case config.Generic:
+		return buffers.NewGeneric(cfg.VCs, cfg.VCDepth)
+	case config.ViChaR:
+		return core.NewUBSWithVCs(cfg.BufferSlots, cfg.MaxVCs())
+	case config.DAMQ:
+		return buffers.NewDAMQ(cfg.VCs, cfg.BufferSlots, cfg.DAMQDelay)
+	case config.FCCB:
+		return buffers.NewFCCB(cfg.VCs, cfg.BufferSlots)
+	default:
+		panic(fmt.Sprintf("router: unknown buffer architecture %v", cfg.Arch))
+	}
+}
+
+// New constructs router id on the mesh. Ports must be wired with
+// ConnectOutput/ConnectInputCredit before the first tick.
+func New(id int, cfg *config.Config, mesh topology.Mesh) *Router {
+	p := cfg.Ports()
+	r := &Router{
+		id:     id,
+		cfg:    cfg,
+		mesh:   mesh,
+		route:  routeFor(cfg),
+		maxVCs: cfg.MaxVCs(),
+		ports:  p,
+
+		in:  make([]*inputPort, p),
+		out: make([]*outputPort, p),
+
+		vaS1: make([]*arbiter.RoundRobin, p),
+		saS1: make([]*arbiter.RoundRobin, p),
+		vaS2: make([]*arbiter.RoundRobin, p),
+		saS2: make([]*arbiter.RoundRobin, p),
+
+		saNominee: make([]int, p),
+	}
+	for i := 0; i < p; i++ {
+		r.in[i] = &inputPort{
+			buf: newBuffer(cfg),
+			vc:  make([]vcState, r.maxVCs),
+		}
+		r.vaS1[i] = arbiter.NewRoundRobin(r.maxVCs)
+		r.saS1[i] = arbiter.NewRoundRobin(r.maxVCs)
+		r.vaS2[i] = arbiter.NewRoundRobin(p)
+		r.saS2[i] = arbiter.NewRoundRobin(p)
+		r.out[i] = &outputPort{}
+	}
+	if cfg.Arch != config.ViChaR {
+		r.vaS2G = make([][]*arbiter.RoundRobin, p)
+		for i := 0; i < p; i++ {
+			r.vaS2G[i] = make([]*arbiter.RoundRobin, r.maxVCs)
+			for v := 0; v < r.maxVCs; v++ {
+				r.vaS2G[i][v] = arbiter.NewRoundRobin(p * r.maxVCs)
+			}
+		}
+	}
+	r.vaReq = make([]bool, p*r.maxVCs)
+	r.saReq = make([]bool, p)
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() int { return r.id }
+
+// ConnectOutput wires output port p to a downstream link and the
+// credit view mirroring the downstream input port (or the sink view
+// for the local ejection port). Unconnected cardinal ports on mesh
+// edges stay nil; the routing function never selects them.
+func (r *Router) ConnectOutput(p int, conn FlitSender, view CreditView) {
+	r.out[p].conn = conn
+	r.out[p].view = view
+}
+
+// ConnectInputCredit wires input port p's upstream credit channel.
+func (r *Router) ConnectInputCredit(p int, credit CreditSender) {
+	r.in[p].credit = credit
+}
+
+// OutputView returns the credit view at output port p (tests and the
+// network interface use it).
+func (r *Router) OutputView(p int) CreditView { return r.out[p].view }
+
+// ReceiveFlit writes a delivered flit into input port p's buffer.
+// The upstream credit view guarantees space; a full buffer here is a
+// flow-control bug and panics.
+func (r *Router) ReceiveFlit(p int, f *flit.Flit, now int64) {
+	if err := r.in[p].buf.Write(f, now); err != nil {
+		panic(fmt.Sprintf("router %d port %d: %v", r.id, p, err))
+	}
+	r.Counters.BufferWrites++
+}
+
+// ReceiveCredit applies an upstream-bound credit at output port p.
+func (r *Router) ReceiveCredit(p int, c flit.Credit) {
+	r.out[p].view.OnCredit(c)
+}
+
+// Tick advances the router one cycle. Stages run in reverse pipeline
+// order (SA, then VA, then RC) so a flit progresses exactly one stage
+// per cycle; switch traversal is folded into the FlitDelay of the
+// link enqueue performed by SA winners.
+//
+// In the speculative organization (Peh & Dally, HPCA 2001; paper
+// §3.1) VA runs before SA within the cycle, so a head granted a VC
+// bids for the switch the same cycle — speculation modeled as always
+// succeeding — shortening the pipeline to RC, VA/SA, ST.
+func (r *Router) Tick(now int64) {
+	if r.cfg.Speculative {
+		r.tickVA(now)
+		r.tickSA(now)
+	} else {
+		r.tickSA(now)
+		r.tickVA(now)
+	}
+	r.tickRC(now)
+}
+
+// tickRC performs routing computation for newly arrived head flits.
+// Buffer write happens in parallel with RC, so a head arriving this
+// cycle routes this cycle (Front is probed at now+1).
+func (r *Router) tickRC(now int64) {
+	for _, in := range r.in {
+		for v := range in.vc {
+			st := &in.vc[v]
+			if st.state != vcIdle {
+				continue
+			}
+			f := in.buf.Front(v, now+1)
+			if f == nil {
+				continue
+			}
+			if !f.IsHead() {
+				panic(fmt.Sprintf("router %d: %s at head of idle vc %d", r.id, f, v))
+			}
+			st.pkt = f.Pkt
+			if f.Pkt.Escaped {
+				st.cands = []int{routing.EscapePort(r.mesh, r.id, f.Pkt.Dst)}
+			} else {
+				st.cands = r.route.Candidates(r.mesh, r.id, f.Pkt.Dst)
+			}
+			st.state = vcWaitVA
+			st.waitSince = now
+		}
+	}
+}
+
+// bestCandidate scores the packet's candidate output ports by VC
+// availability then free downstream slots, returning -1 when no
+// candidate can currently grant a VC of the required class.
+func (r *Router) bestCandidate(st *vcState, escape bool) int {
+	best, bestSlots := -1, -1
+	for _, p := range st.cands {
+		view := r.out[p].view
+		if view == nil || !view.HasFreeVC(escape) {
+			continue
+		}
+		if s := view.FreeSlots(); s > bestSlots {
+			best, bestSlots = p, s
+		}
+	}
+	return best
+}
+
+// escapeCheck re-channels packets that have waited past the deadlock
+// threshold onto the deterministic escape path (the Token Dispenser's
+// deadlock-recovery flow, paper Figure 10).
+func (r *Router) escapeCheck(now int64) {
+	if !r.cfg.NeedsEscape() {
+		return
+	}
+	for _, in := range r.in {
+		for v := range in.vc {
+			st := &in.vc[v]
+			if st.state != vcWaitVA || st.pkt.Escaped {
+				continue
+			}
+			if now-st.waitSince > int64(r.cfg.DeadlockThreshold) {
+				st.pkt.Escaped = true
+				st.cands = []int{routing.EscapePort(r.mesh, r.id, st.pkt.Dst)}
+			}
+		}
+	}
+}
+
+// tickVA performs the two-stage virtual channel allocation.
+func (r *Router) tickVA(now int64) {
+	r.escapeCheck(now)
+	if r.cfg.Arch == config.ViChaR {
+		r.tickVAViChaR(now)
+	} else {
+		r.tickVAGeneric(now)
+	}
+}
+
+// tickVAViChaR implements paper Figure 7(b): a vk:1 arbiter per input
+// port nominates one waiting VC; a P:1 arbiter per output port picks
+// among nominees; the winner's packet receives the next free token
+// from the output's dispenser view.
+func (r *Router) tickVAViChaR(now int64) {
+	type nominee struct {
+		invc   int
+		port   int // chosen output port
+		escape bool
+	}
+	noms := make([]nominee, r.ports)
+	for i := range noms {
+		noms[i].invc = -1
+	}
+	req := r.vaReq[:r.maxVCs]
+	for ip, in := range r.in {
+		any := false
+		for v := range in.vc {
+			st := &in.vc[v]
+			req[v] = false
+			if st.state != vcWaitVA {
+				continue
+			}
+			if r.bestCandidate(st, st.pkt.Escaped) >= 0 {
+				req[v] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		r.Counters.VAOps++
+		w := r.vaS1[ip].Arbitrate(req)
+		if w < 0 {
+			continue
+		}
+		st := &in.vc[w]
+		p := r.bestCandidate(st, st.pkt.Escaped)
+		noms[ip] = nominee{invc: w, port: p, escape: st.pkt.Escaped}
+	}
+	// Stage 2: one grant per output port.
+	req2 := r.saReq // reuse scratch: per input port
+	for op := 0; op < r.ports; op++ {
+		anyReq := false
+		for ip := range noms {
+			req2[ip] = noms[ip].invc >= 0 && noms[ip].port == op
+			anyReq = anyReq || req2[ip]
+		}
+		if !anyReq {
+			continue
+		}
+		w := r.vaS2[op].Arbitrate(req2)
+		if w < 0 {
+			continue
+		}
+		n := noms[w]
+		st := &r.in[w].vc[n.invc]
+		vc, ok := r.out[op].view.AllocVC(n.escape)
+		if !ok {
+			continue // availability changed within the cycle; retry next
+		}
+		st.state = vcActive
+		st.outPort = op
+		st.outVC = vc
+		r.Counters.VCGrants++
+	}
+}
+
+// tickVAGeneric implements paper Figure 7(a): each waiting input VC
+// reduces its requests to a single (output port, output VC) pair in
+// stage 1; a Pv:1 arbiter per output VC resolves conflicts in
+// stage 2. DAMQ and FC-CB share this structure (their VC count is
+// fixed like the generic router's).
+func (r *Router) tickVAGeneric(now int64) {
+	type pick struct {
+		op, ovc int
+		escape  bool
+	}
+	picks := make(map[int]pick, 8) // flat in-VC index -> stage-1 pick
+	for ip, in := range r.in {
+		for v := range in.vc {
+			st := &in.vc[v]
+			if st.state != vcWaitVA {
+				continue
+			}
+			escape := st.pkt.Escaped
+			op := r.bestCandidate(st, escape)
+			if op < 0 {
+				continue
+			}
+			alloc, ok := r.out[op].view.(perVCAllocator)
+			if !ok {
+				panic(fmt.Sprintf("router %d: %T cannot allocate per-VC", r.id, r.out[op].view))
+			}
+			ovc := alloc.GrantableVC(escape, v)
+			if ovc < 0 {
+				continue
+			}
+			picks[ip*r.maxVCs+v] = pick{op: op, ovc: ovc, escape: escape}
+			r.Counters.VAOps++
+		}
+	}
+	if len(picks) == 0 {
+		return
+	}
+	// Stage 2: per output VC, arbitrate among all requesting input
+	// VCs. Iterate output VCs that actually have requests.
+	type key struct{ op, ovc int }
+	byOut := make(map[key][]int, len(picks))
+	for flat, pk := range picks {
+		k := key{pk.op, pk.ovc}
+		byOut[k] = append(byOut[k], flat)
+	}
+	req := r.vaReq
+	for k, flats := range byOut {
+		for i := range req {
+			req[i] = false
+		}
+		for _, flat := range flats {
+			req[flat] = true
+		}
+		w := r.vaS2G[k.op][k.ovc].Arbitrate(req)
+		if w < 0 {
+			continue
+		}
+		ip, v := w/r.maxVCs, w%r.maxVCs
+		st := &r.in[ip].vc[v]
+		alloc := r.out[k.op].view.(perVCAllocator)
+		alloc.ClaimVC(k.ovc)
+		st.state = vcActive
+		st.outPort = k.op
+		st.outVC = k.ovc
+		r.Counters.VCGrants++
+	}
+}
+
+// tickSA performs the two-stage switch allocation and moves winners
+// through the crossbar onto their links.
+func (r *Router) tickSA(now int64) {
+	req := r.vaReq[:r.maxVCs]
+	for ip, in := range r.in {
+		r.saNominee[ip] = -1
+		any := false
+		for v := range in.vc {
+			st := &in.vc[v]
+			req[v] = st.state == vcActive &&
+				in.buf.Front(v, now) != nil &&
+				r.out[st.outPort].view.CanSendFlit(st.outVC)
+			any = any || req[v]
+		}
+		if !any {
+			continue
+		}
+		r.Counters.SAOps++
+		r.saNominee[ip] = r.saS1[ip].Arbitrate(req)
+	}
+	req2 := r.saReq
+	for op := 0; op < r.ports; op++ {
+		anyReq := false
+		for ip := 0; ip < r.ports; ip++ {
+			v := r.saNominee[ip]
+			req2[ip] = v >= 0 && r.in[ip].vc[v].outPort == op
+			anyReq = anyReq || req2[ip]
+		}
+		if !anyReq {
+			continue
+		}
+		w := r.saS2[op].Arbitrate(req2)
+		if w < 0 {
+			continue
+		}
+		r.forward(w, r.saNominee[w], op, now)
+	}
+}
+
+// forward pops the SA-winning flit and sends it across the crossbar
+// and link, returning a credit upstream.
+func (r *Router) forward(ip, v, op int, now int64) {
+	in := r.in[ip]
+	st := &in.vc[v]
+	f, err := in.buf.Pop(v, now)
+	if err != nil {
+		panic(fmt.Sprintf("router %d: SA winner vanished: %v", r.id, err))
+	}
+	r.Counters.BufferReads++
+	r.Counters.XbarTraversals++
+
+	if in.credit != nil {
+		in.credit.SendCredit(flit.Credit{VC: v, ReleaseVC: f.IsTail()}, now)
+	}
+
+	f.VC = st.outVC
+	r.out[op].view.OnSend(f)
+	r.out[op].conn.SendFlit(f, now)
+
+	if f.IsTail() {
+		*st = vcState{}
+	}
+}
+
+// Occupied returns the total flits buffered across all input ports.
+func (r *Router) Occupied() int {
+	n := 0
+	for _, in := range r.in {
+		n += in.buf.Occupied()
+	}
+	return n
+}
+
+// TotalSlots returns the router's total input buffering.
+func (r *Router) TotalSlots() int { return r.ports * r.cfg.BufferSlots }
+
+// InUseVCsPerPort returns the mean number of in-use virtual channels
+// per input port: a VC is in use when its state machine holds a
+// packet or it still buffers flits.
+func (r *Router) InUseVCsPerPort() float64 {
+	n := 0
+	for _, in := range r.in {
+		for v := range in.vc {
+			if in.vc[v].state != vcIdle || in.buf.Len(v) > 0 {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(r.ports)
+}
+
+// InputBuffer exposes the buffer at input port p for tests and
+// diagnostics.
+func (r *Router) InputBuffer(p int) buffers.Buffer { return r.in[p].buf }
+
+// DebugState renders the router's microarchitectural state — per-VC
+// state machines, buffered flit counts, output credit views — for
+// deadlock diagnosis.
+func (r *Router) DebugState() string {
+	var b []byte
+	b = fmt.Appendf(b, "router %d\n", r.id)
+	stateName := map[uint8]string{vcIdle: "idle", vcWaitVA: "waitVA", vcActive: "active"}
+	for ip, in := range r.in {
+		for v := range in.vc {
+			st := &in.vc[v]
+			if st.state == vcIdle && in.buf.Len(v) == 0 {
+				continue
+			}
+			b = fmt.Appendf(b, "  in[%s] vc%d: %s len=%d", topology.PortName(ip), v, stateName[st.state], in.buf.Len(v))
+			if st.state != vcIdle {
+				b = fmt.Appendf(b, " pkt=%v out=%s/vc%d", st.pkt, topology.PortName(st.outPort), st.outVC)
+				if st.state == vcWaitVA {
+					b = fmt.Appendf(b, " cands=%v since=%d esc=%v", st.cands, st.waitSince, st.pkt.Escaped)
+				}
+			}
+			b = append(b, '\n')
+		}
+	}
+	for op, out := range r.out {
+		if out.view == nil {
+			continue
+		}
+		b = fmt.Appendf(b, "  out[%s]: freeSlots=%d outstandingVCs=%d\n",
+			topology.PortName(op), out.view.FreeSlots(), out.view.OutstandingVCs())
+	}
+	return string(b)
+}

@@ -1,0 +1,512 @@
+package router
+
+import (
+	"fmt"
+
+	"vichar/internal/config"
+	"vichar/internal/core"
+	"vichar/internal/flit"
+)
+
+// CreditView is the upstream mirror of a downstream input port's
+// buffer state, maintained at each router output port (and at each
+// network interface for the local injection port). It answers the
+// two questions flow control asks: can one more flit be sent on a
+// given VC (slot credit), and can a new packet be granted a VC (VC
+// availability) — for ViChaR, the latter is the Token Dispenser.
+type CreditView interface {
+	// CanSendFlit reports whether a flit may be sent on vc this cycle
+	// (a downstream slot is available to it).
+	CanSendFlit(vc int) bool
+	// OnSend debits the view for a departing flit.
+	OnSend(f *flit.Flit)
+	// OnCredit credits the view for a downstream departure.
+	OnCredit(c flit.Credit)
+	// HasFreeVC reports whether a VC of the given class (escape or
+	// regular) could be granted to a new packet this cycle.
+	HasFreeVC(escape bool) bool
+	// AllocVC grants a VC of the given class to a new packet. The
+	// caller must route all the packet's flits onto the returned VC.
+	AllocVC(escape bool) (vc int, ok bool)
+	// FreeSlots returns the downstream slots currently available to
+	// new flits (summed over VCs for partitioned buffers); used by
+	// adaptive routing to score candidate outputs.
+	FreeSlots() int
+	// OutstandingVCs returns the number of VCs currently granted and
+	// not yet released.
+	OutstandingVCs() int
+}
+
+// NewCreditView builds the view matching the configuration's buffer
+// architecture, mirroring one downstream input port.
+func NewCreditView(cfg *config.Config) CreditView {
+	escape := 0
+	if cfg.NeedsEscape() {
+		escape = cfg.EscapeVCs
+	}
+	switch cfg.Arch {
+	case config.Generic:
+		return newGenericView(cfg.VCs, cfg.VCDepth, escape, cfg.AtomicVCAlloc)
+	case config.ViChaR:
+		return newViCharView(cfg.BufferSlots, cfg.MaxVCs(), escape)
+	case config.DAMQ, config.FCCB:
+		return newSharedView(cfg.VCs, cfg.BufferSlots, escape)
+	default:
+		panic(fmt.Sprintf("router: unknown buffer architecture %v", cfg.Arch))
+	}
+}
+
+// genericView mirrors a statically partitioned buffer: one private
+// credit counter per VC plus per-VC allocation state. With atomic
+// allocation a VC is re-grantable only when fully drained; otherwise
+// packets may queue back-to-back within the FIFO.
+type genericView struct {
+	depth   int
+	credits []int
+	open    []bool // a packet holds the VC and its tail has not been sent
+	escBase int    // first escape VC ID; len(credits) when no escape set
+	atomic  bool
+	rr      int // round-robin pointer for AllocVC
+}
+
+func newGenericView(vcs, depth, escape int, atomic bool) *genericView {
+	v := &genericView{
+		depth:   depth,
+		credits: make([]int, vcs),
+		open:    make([]bool, vcs),
+		escBase: vcs - escape,
+		atomic:  atomic,
+	}
+	for i := range v.credits {
+		v.credits[i] = depth
+	}
+	return v
+}
+
+func (v *genericView) CanSendFlit(vc int) bool {
+	return vc >= 0 && vc < len(v.credits) && v.credits[vc] > 0
+}
+
+func (v *genericView) OnSend(f *flit.Flit) {
+	if !v.CanSendFlit(f.VC) {
+		panic(fmt.Sprintf("router: send without credit on vc %d", f.VC))
+	}
+	v.credits[f.VC]--
+	if f.IsTail() {
+		v.open[f.VC] = false
+	}
+}
+
+func (v *genericView) OnCredit(c flit.Credit) {
+	if c.VC < 0 || c.VC >= len(v.credits) {
+		panic(fmt.Sprintf("router: credit for unknown vc %d", c.VC))
+	}
+	v.credits[c.VC]++
+	if v.credits[c.VC] > v.depth {
+		panic(fmt.Sprintf("router: credit overflow on vc %d", c.VC))
+	}
+}
+
+// grantable reports whether the VC may be given to a new packet.
+func (v *genericView) grantable(vc int) bool {
+	if v.open[vc] {
+		return false
+	}
+	if v.atomic {
+		return v.credits[vc] == v.depth
+	}
+	return true
+}
+
+func (v *genericView) vcRange(escape bool) (lo, hi int) {
+	if escape {
+		return v.escBase, len(v.credits)
+	}
+	return 0, v.escBase
+}
+
+func (v *genericView) HasFreeVC(escape bool) bool {
+	lo, hi := v.vcRange(escape)
+	for vc := lo; vc < hi; vc++ {
+		if v.grantable(vc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *genericView) AllocVC(escape bool) (int, bool) {
+	lo, hi := v.vcRange(escape)
+	n := hi - lo
+	if n <= 0 {
+		return -1, false
+	}
+	for i := 0; i < n; i++ {
+		vc := lo + (v.rr+i)%n
+		if v.grantable(vc) {
+			v.rr = (vc - lo + 1) % n
+			v.open[vc] = true
+			return vc, true
+		}
+	}
+	return -1, false
+}
+
+// GrantableVC returns a grantable VC of the class, scanning
+// round-robin from hint, without claiming it (generic VA stage 1).
+func (v *genericView) GrantableVC(escape bool, hint int) int {
+	lo, hi := v.vcRange(escape)
+	n := hi - lo
+	if n <= 0 {
+		return -1
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	for i := 0; i < n; i++ {
+		vc := lo + (hint+i)%n
+		if v.grantable(vc) {
+			return vc
+		}
+	}
+	return -1
+}
+
+// ClaimVC marks vc granted to a new packet (generic VA stage 2).
+func (v *genericView) ClaimVC(vc int) {
+	if vc < 0 || vc >= len(v.open) || !v.grantable(vc) {
+		panic(fmt.Sprintf("router: claim of ungrantable vc %d", vc))
+	}
+	v.open[vc] = true
+}
+
+func (v *genericView) FreeSlots() int {
+	n := 0
+	for _, c := range v.credits {
+		n += c
+	}
+	return n
+}
+
+func (v *genericView) OutstandingVCs() int {
+	n := 0
+	for vc := range v.open {
+		if v.open[vc] || v.credits[vc] < v.depth {
+			n++
+		}
+	}
+	return n
+}
+
+// sharedView mirrors a DAMQ or FC-CB input port: a shared slot pool
+// with a fixed set of VCs; packets may queue back-to-back within a
+// queue (their head-of-line weakness).
+//
+// One slot is permanently reserved per queue — the classical DAMQ
+// provision — so every queue can always accept at least one flit.
+// Without it, a pool filled by packets waiting for resources held by
+// packets whose flits cannot enter the pool deadlocks (hold-and-wait
+// through the shared storage, independent of routing acyclicity).
+type sharedView struct {
+	slots      int
+	sharedFree int    // pool slots beyond the per-queue reservations
+	resFree    []bool // per queue: reserved slot currently empty
+	held       []int  // per queue: flits resident downstream
+	open       []bool
+	escBase    int
+	rr         int
+}
+
+func newSharedView(vcs, slots, escape int) *sharedView {
+	if slots < vcs {
+		panic(fmt.Sprintf("router: shared view needs a reservable slot per VC, got %d slots for %d VCs", slots, vcs))
+	}
+	v := &sharedView{
+		slots:      slots,
+		sharedFree: slots - vcs,
+		resFree:    make([]bool, vcs),
+		held:       make([]int, vcs),
+		open:       make([]bool, vcs),
+		escBase:    vcs - escape,
+	}
+	for i := range v.resFree {
+		v.resFree[i] = true
+	}
+	return v
+}
+
+func (v *sharedView) CanSendFlit(vc int) bool {
+	if vc < 0 || vc >= len(v.open) {
+		return false
+	}
+	return v.sharedFree > 0 || v.resFree[vc]
+}
+
+func (v *sharedView) OnSend(f *flit.Flit) {
+	if !v.CanSendFlit(f.VC) {
+		panic(fmt.Sprintf("router: send without shared credit on vc %d", f.VC))
+	}
+	if v.sharedFree > 0 {
+		v.sharedFree--
+	} else {
+		v.resFree[f.VC] = false
+	}
+	v.held[f.VC]++
+	if f.IsTail() {
+		v.open[f.VC] = false
+	}
+}
+
+func (v *sharedView) OnCredit(c flit.Credit) {
+	if c.VC < 0 || c.VC >= len(v.open) || v.held[c.VC] == 0 {
+		panic(fmt.Sprintf("router: stray shared credit on vc %d", c.VC))
+	}
+	v.held[c.VC]--
+	// Refill the queue's reservation before the shared pool so the
+	// queue always keeps its guaranteed slot.
+	if !v.resFree[c.VC] {
+		v.resFree[c.VC] = true
+	} else {
+		v.sharedFree++
+		if v.sharedFree > v.slots-len(v.open) {
+			panic("router: shared credit overflow")
+		}
+	}
+}
+
+func (v *sharedView) vcRange(escape bool) (lo, hi int) {
+	if escape {
+		return v.escBase, len(v.open)
+	}
+	return 0, v.escBase
+}
+
+func (v *sharedView) HasFreeVC(escape bool) bool {
+	lo, hi := v.vcRange(escape)
+	for vc := lo; vc < hi; vc++ {
+		if !v.open[vc] {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *sharedView) AllocVC(escape bool) (int, bool) {
+	lo, hi := v.vcRange(escape)
+	n := hi - lo
+	if n <= 0 {
+		return -1, false
+	}
+	for i := 0; i < n; i++ {
+		vc := lo + (v.rr+i)%n
+		if !v.open[vc] {
+			v.rr = (vc - lo + 1) % n
+			v.open[vc] = true
+			return vc, true
+		}
+	}
+	return -1, false
+}
+
+// GrantableVC returns a grantable VC of the class, scanning
+// round-robin from hint, without claiming it.
+func (v *sharedView) GrantableVC(escape bool, hint int) int {
+	lo, hi := v.vcRange(escape)
+	n := hi - lo
+	if n <= 0 {
+		return -1
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	for i := 0; i < n; i++ {
+		vc := lo + (hint+i)%n
+		if !v.open[vc] {
+			return vc
+		}
+	}
+	return -1
+}
+
+// ClaimVC marks vc granted to a new packet.
+func (v *sharedView) ClaimVC(vc int) {
+	if vc < 0 || vc >= len(v.open) || v.open[vc] {
+		panic(fmt.Sprintf("router: claim of ungrantable vc %d", vc))
+	}
+	v.open[vc] = true
+}
+
+func (v *sharedView) FreeSlots() int { return v.sharedFree }
+
+func (v *sharedView) OutstandingVCs() int {
+	n := 0
+	for _, o := range v.open {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// vicharView mirrors a ViChaR input port: a shared slot pool plus the
+// Token (VC) Dispenser. This is where the paper's per-output-port UCL
+// modules (Token Dispenser + VC Availability Tracker) live.
+//
+// Every dispensed token carries a one-slot reservation, so an in-use
+// VC can always land at least one flit in the UBS even when the
+// shared pool is exhausted — the provision that makes the paper's
+// "vk single-slot VCs" extreme (Figure 5) live, and that prevents
+// hold-and-wait deadlock through the shared storage: without it, a
+// pool full of packets waiting for tokens held by packets whose flits
+// cannot enter the pool wedges permanently. Because the dispenser has
+// exactly as many tokens as the UBS has slots, reservations can never
+// oversubscribe the pool.
+//
+// The reservation is parked only while the VC has no flit resident
+// downstream: a resident flit guarantees the VC's progress by itself
+// (it drains along the routing function's acyclic chain, and its
+// departure credit re-parks the reservation if it was the last).
+// Maintained invariant for every granted VC: reservation parked OR at
+// least one flit resident. This keeps busy VCs from idling buffer
+// capacity while preserving the deadlock-freedom guarantee.
+type vicharView struct {
+	slots      int
+	sharedFree int
+	dispenser  *core.Dispenser
+	resFree    []bool // per VC: reservation available (token outstanding)
+	granted    []bool // per VC: token outstanding
+	held       []int  // per VC: flits resident downstream
+}
+
+func newViCharView(slots, vcs, escape int) *vicharView {
+	return &vicharView{
+		slots:      slots,
+		sharedFree: slots,
+		dispenser:  core.NewDispenser(vcs, escape),
+		resFree:    make([]bool, vcs),
+		granted:    make([]bool, vcs),
+		held:       make([]int, vcs),
+	}
+}
+
+func (v *vicharView) CanSendFlit(vc int) bool {
+	if vc < 0 || vc >= len(v.granted) {
+		return false
+	}
+	return v.sharedFree > 0 || (v.granted[vc] && v.resFree[vc])
+}
+
+func (v *vicharView) OnSend(f *flit.Flit) {
+	if !v.CanSendFlit(f.VC) {
+		panic(fmt.Sprintf("router: send without UBS credit on vc %d", f.VC))
+	}
+	if v.sharedFree > 0 {
+		v.sharedFree--
+	} else {
+		v.resFree[f.VC] = false
+	}
+	v.held[f.VC]++
+	// A resident flit carries the VC's progress guarantee; unpark the
+	// reservation while it does.
+	if v.resFree[f.VC] {
+		v.resFree[f.VC] = false
+		v.sharedFree++
+	}
+}
+
+func (v *vicharView) OnCredit(c flit.Credit) {
+	if c.VC < 0 || c.VC >= len(v.granted) || v.held[c.VC] == 0 {
+		panic(fmt.Sprintf("router: stray UBS credit on vc %d", c.VC))
+	}
+	v.held[c.VC]--
+	switch {
+	case c.ReleaseVC:
+		if v.held[c.VC] != 0 {
+			panic(fmt.Sprintf("router: VC %d released with %d flits resident", c.VC, v.held[c.VC]))
+		}
+		// Tails depart last, so the reservation cannot be parked
+		// here; the departing flit's slot returns to the pool.
+		v.sharedFree++
+		v.resFree[c.VC] = false
+		v.granted[c.VC] = false
+		v.dispenser.Return(c.VC)
+	case v.held[c.VC] == 0:
+		// Last resident flit left mid-packet: re-park the reservation
+		// so the VC keeps its guaranteed landing slot.
+		v.resFree[c.VC] = true
+	default:
+		v.sharedFree++
+	}
+	if v.sharedFree > v.slots {
+		panic("router: UBS credit overflow")
+	}
+}
+
+func (v *vicharView) HasFreeVC(escape bool) bool {
+	if v.sharedFree == 0 {
+		return false // no slot left to carry the token's reservation
+	}
+	if escape {
+		return v.dispenser.FreeEscape() > 0
+	}
+	return v.dispenser.FreeNormal() > 0
+}
+
+// AllocVC grants the next token and moves one slot from the shared
+// pool into the new VC's reservation.
+func (v *vicharView) AllocVC(escape bool) (int, bool) {
+	if v.sharedFree == 0 {
+		return -1, false
+	}
+	vc, ok := v.dispenser.Grant(escape)
+	if !ok {
+		return -1, false
+	}
+	v.sharedFree--
+	v.resFree[vc] = true
+	v.granted[vc] = true
+	return vc, true
+}
+
+func (v *vicharView) FreeSlots() int { return v.sharedFree }
+
+func (v *vicharView) OutstandingVCs() int { return v.dispenser.InUse() }
+
+// sinkView models the processing element at the end of a local
+// ejection port: it consumes one flit per cycle with effectively
+// infinite buffering, so it always has credit and a VC.
+type sinkView struct{ outstanding int }
+
+// NewSinkView returns the ejection-side credit view.
+func NewSinkView() CreditView { return &sinkView{} }
+
+func (v *sinkView) CanSendFlit(vc int) bool { return true }
+
+func (v *sinkView) OnSend(f *flit.Flit) {
+	if f.IsHead() {
+		v.outstanding++
+	}
+	if f.IsTail() {
+		v.outstanding--
+	}
+}
+
+func (v *sinkView) OnCredit(c flit.Credit)          {}
+func (v *sinkView) HasFreeVC(escape bool) bool      { return true }
+func (v *sinkView) AllocVC(escape bool) (int, bool) { return 0, true }
+func (v *sinkView) FreeSlots() int                  { return 1 << 20 }
+func (v *sinkView) OutstandingVCs() int             { return v.outstanding }
+
+// GrantableVC always offers VC 0: the processing element consumes
+// flits of any number of interleaved packets.
+func (v *sinkView) GrantableVC(escape bool, hint int) int { return 0 }
+
+// ClaimVC is a no-op at the sink.
+func (v *sinkView) ClaimVC(vc int) {}
+
+var (
+	_ CreditView = (*genericView)(nil)
+	_ CreditView = (*sharedView)(nil)
+	_ CreditView = (*vicharView)(nil)
+	_ CreditView = (*sinkView)(nil)
+)

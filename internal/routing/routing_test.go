@@ -1,0 +1,285 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vichar/internal/topology"
+)
+
+func walk(t *testing.T, f Function, m topology.Mesh, src, dst int, pick func(cands []int) int) int {
+	t.Helper()
+	cur := src
+	for hops := 0; ; hops++ {
+		if hops > m.Nodes()*2 {
+			t.Fatalf("%s: walk from %d to %d did not terminate", f, src, dst)
+		}
+		cands := f.Candidates(m, cur, dst)
+		if len(cands) == 0 {
+			t.Fatalf("%s: empty candidates at %d for %d", f, cur, dst)
+		}
+		p := pick(cands)
+		if p == topology.Local {
+			if cur != dst {
+				t.Fatalf("%s: ejected at %d, wanted %d", f, cur, dst)
+			}
+			return hops
+		}
+		nb, ok := m.Neighbor(cur, p)
+		if !ok {
+			t.Fatalf("%s: routed off the edge at %d port %s", f, cur, topology.PortName(p))
+		}
+		cur = nb
+	}
+}
+
+func TestXYReachesEveryPair(t *testing.T) {
+	m := topology.New(5, 4)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			hops := walk(t, XY{}, m, src, dst, func(c []int) int { return c[0] })
+			if hops != m.Hops(src, dst) {
+				t.Fatalf("XY %d->%d took %d hops, minimal %d", src, dst, hops, m.Hops(src, dst))
+			}
+		}
+	}
+}
+
+func TestXYDimensionOrder(t *testing.T) {
+	m := topology.New(8, 8)
+	// From (0,0) to (3,3): X must be corrected first.
+	got := XY{}.Candidates(m, m.Node(0, 0), m.Node(3, 3))
+	if len(got) != 1 || got[0] != topology.East {
+		t.Fatalf("XY first move %v, want East", got)
+	}
+	// X aligned: move in Y.
+	got = XY{}.Candidates(m, m.Node(3, 0), m.Node(3, 3))
+	if len(got) != 1 || got[0] != topology.South {
+		t.Fatalf("XY Y-move %v, want South", got)
+	}
+	got = XY{}.Candidates(m, m.Node(3, 3), m.Node(3, 3))
+	if len(got) != 1 || got[0] != topology.Local {
+		t.Fatalf("XY at destination %v, want Local", got)
+	}
+}
+
+func TestXYDeterministic(t *testing.T) {
+	if !(XY{}).Deterministic() {
+		t.Error("XY must be deterministic")
+	}
+	if (MinimalAdaptive{}).Deterministic() {
+		t.Error("minimal adaptive must not be deterministic")
+	}
+}
+
+func TestAdaptiveCandidatesMinimal(t *testing.T) {
+	m := topology.New(8, 8)
+	// Diagonal: both productive directions offered.
+	got := MinimalAdaptive{}.Candidates(m, m.Node(2, 2), m.Node(5, 6))
+	if len(got) != 2 || got[0] != topology.East || got[1] != topology.South {
+		t.Fatalf("adaptive candidates %v, want [East South]", got)
+	}
+	// Aligned: single direction.
+	got = MinimalAdaptive{}.Candidates(m, m.Node(2, 2), m.Node(2, 7))
+	if len(got) != 1 || got[0] != topology.South {
+		t.Fatalf("aligned candidates %v", got)
+	}
+	got = MinimalAdaptive{}.Candidates(m, m.Node(4, 4), m.Node(4, 4))
+	if len(got) != 1 || got[0] != topology.Local {
+		t.Fatalf("at-destination candidates %v", got)
+	}
+}
+
+// Property: every adaptive candidate strictly decreases the hop
+// distance (minimality), for any pair.
+func TestAdaptiveProductiveProperty(t *testing.T) {
+	m := topology.New(7, 6)
+	prop := func(a, b uint8) bool {
+		src := int(a) % m.Nodes()
+		dst := int(b) % m.Nodes()
+		for _, p := range (MinimalAdaptive{}).Candidates(m, src, dst) {
+			if p == topology.Local {
+				if src != dst {
+					return false
+				}
+				continue
+			}
+			nb, ok := m.Neighbor(src, p)
+			if !ok || m.Hops(nb, dst) != m.Hops(src, dst)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any greedy walk over adaptive candidates terminates at
+// the destination in exactly the minimal hop count.
+func TestAdaptiveWalkAlwaysMinimal(t *testing.T) {
+	m := topology.New(6, 6)
+	pickLast := func(c []int) int { return c[len(c)-1] }
+	for src := 0; src < m.Nodes(); src += 5 {
+		for dst := 0; dst < m.Nodes(); dst += 3 {
+			hops := walk(t, MinimalAdaptive{}, m, src, dst, pickLast)
+			if hops != m.Hops(src, dst) {
+				t.Fatalf("adaptive %d->%d took %d hops, minimal %d", src, dst, hops, m.Hops(src, dst))
+			}
+		}
+	}
+}
+
+func TestEscapePortIsXY(t *testing.T) {
+	m := topology.New(8, 8)
+	for src := 0; src < m.Nodes(); src += 7 {
+		for dst := 0; dst < m.Nodes(); dst += 5 {
+			if EscapePort(m, src, dst) != (XY{}).Candidates(m, src, dst)[0] {
+				t.Fatalf("escape port differs from XY at %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := topology.New(4, 4)
+	if err := Validate(XY{}, m, 0, 15); err != nil {
+		t.Errorf("XY validate: %v", err)
+	}
+	if err := Validate(MinimalAdaptive{}, m, 5, 10); err != nil {
+		t.Errorf("adaptive validate: %v", err)
+	}
+}
+
+// XY's channel dependency graph on a mesh is acyclic (the standard
+// turn-model argument): verify no walk revisits a channel.
+func TestXYNoChannelRevisit(t *testing.T) {
+	m := topology.New(5, 5)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			type chann struct{ node, port int }
+			seen := map[chann]bool{}
+			cur := src
+			for cur != dst {
+				p := XY{}.Candidates(m, cur, dst)[0]
+				c := chann{cur, p}
+				if seen[c] {
+					t.Fatalf("XY revisited channel %v routing %d->%d", c, src, dst)
+				}
+				seen[c] = true
+				cur, _ = m.Neighbor(cur, p)
+			}
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if (XY{}).String() != "XY" {
+		t.Error("XY name wrong")
+	}
+	if (MinimalAdaptive{}).String() != "MinAdaptive" {
+		t.Error("adaptive name wrong")
+	}
+}
+
+// prematureEjector is a broken routing function used to exercise
+// Validate's failure paths.
+type prematureEjector struct{}
+
+func (prematureEjector) Candidates(m topology.Mesh, cur, dst int) []int {
+	return []int{topology.Local}
+}
+func (prematureEjector) Deterministic() bool { return true }
+func (prematureEjector) String() string      { return "broken" }
+
+// edgeRunner routes off the mesh edge.
+type edgeRunner struct{}
+
+func (edgeRunner) Candidates(m topology.Mesh, cur, dst int) []int {
+	return []int{topology.North}
+}
+func (edgeRunner) Deterministic() bool { return true }
+func (edgeRunner) String() string      { return "edge" }
+
+func TestValidateCatchesBrokenFunctions(t *testing.T) {
+	m := topology.New(4, 4)
+	if err := Validate(prematureEjector{}, m, 0, 5); err == nil {
+		t.Error("premature ejection not caught")
+	}
+	if err := Validate(edgeRunner{}, m, m.Node(0, 0), m.Node(3, 3)); err == nil {
+		t.Error("off-edge routing not caught")
+	}
+}
+
+func TestTorusXYShortestDirection(t *testing.T) {
+	m := topology.NewTorus(8, 8)
+	// (0,0) -> (6,0): wrapping West (2 hops) beats East (6 hops).
+	got := XY{}.Candidates(m, m.Node(0, 0), m.Node(6, 0))
+	if len(got) != 1 || got[0] != topology.West {
+		t.Fatalf("torus XY picked %v, want West wrap", got)
+	}
+	// (0,0) -> (2,0): straight East.
+	got = XY{}.Candidates(m, m.Node(0, 0), m.Node(2, 0))
+	if got[0] != topology.East {
+		t.Fatalf("torus XY picked %v, want East", got)
+	}
+	// Tie at half-way (4 hops either way): East by convention.
+	got = XY{}.Candidates(m, m.Node(0, 0), m.Node(4, 0))
+	if got[0] != topology.East {
+		t.Fatalf("torus XY tie picked %v, want East", got)
+	}
+	// Y wrap: (0,1) -> (0,7) is 2 hops North across the wrap.
+	got = XY{}.Candidates(m, m.Node(0, 1), m.Node(0, 7))
+	if got[0] != topology.North {
+		t.Fatalf("torus XY Y-wrap picked %v, want North", got)
+	}
+}
+
+// Torus XY walks reach every destination in the torus-minimal hop
+// count.
+func TestTorusXYMinimalWalks(t *testing.T) {
+	m := topology.NewTorus(6, 5)
+	for src := 0; src < m.Nodes(); src += 2 {
+		for dst := 0; dst < m.Nodes(); dst += 3 {
+			hops := walk(t, XY{}, m, src, dst, func(c []int) int { return c[0] })
+			if hops != m.Hops(src, dst) {
+				t.Fatalf("torus XY %d->%d took %d hops, minimal %d", src, dst, hops, m.Hops(src, dst))
+			}
+		}
+	}
+}
+
+// The escape network must never use wraparound links: from any node
+// it walks plain mesh-XY, which is acyclic on the torus's link
+// subset.
+func TestTorusEscapeNeverWraps(t *testing.T) {
+	m := topology.NewTorus(6, 6)
+	mesh := topology.New(6, 6)
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst += 7 {
+			if src == dst {
+				continue
+			}
+			got := EscapePort(m, src, dst)
+			want := XY{}.Candidates(mesh, src, dst)[0]
+			if got != want {
+				t.Fatalf("escape at %d->%d: %s, mesh-XY %s", src, dst,
+					topology.PortName(got), topology.PortName(want))
+			}
+			// The chosen port always has a non-wrapping neighbor.
+			if _, ok := mesh.Neighbor(src, got); !ok && got != topology.Local {
+				t.Fatalf("escape at %d uses a wrap-only port %s", src, topology.PortName(got))
+			}
+		}
+	}
+}
+
+func TestTorusAdaptiveCandidates(t *testing.T) {
+	m := topology.NewTorus(8, 8)
+	// (0,0) -> (7,7): both dims wrap; candidates West and North.
+	got := MinimalAdaptive{}.Candidates(m, m.Node(0, 0), m.Node(7, 7))
+	if len(got) != 2 || got[0] != topology.West || got[1] != topology.North {
+		t.Fatalf("torus adaptive candidates %v, want [West North]", got)
+	}
+}

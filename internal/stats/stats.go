@@ -1,0 +1,322 @@
+// Package stats accumulates the metrics the paper reports: average
+// packet latency, throughput (flits/cycle), percent buffer occupancy,
+// the spatial and temporal distribution of in-use virtual channels,
+// and the activity counters the power model back-annotates.
+//
+// The measurement protocol follows §4.1: packets keep being injected
+// until WarmupPackets+MeasurePackets have been ejected; the first
+// WarmupPackets ejections are warm-up and excluded from latency,
+// throughput and occupancy statistics.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"vichar/internal/flit"
+)
+
+// percentile returns the p-quantile (0..1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func percentile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return float64(sorted[len(sorted)-1])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// Counters tallies the microarchitectural events the power model
+// converts into energy. All counts are network-wide totals.
+type Counters struct {
+	// BufferWrites and BufferReads count flit slot accesses at router
+	// input ports.
+	BufferWrites uint64
+	BufferReads  uint64
+	// XbarTraversals counts flits crossing a router crossbar.
+	XbarTraversals uint64
+	// LinkTraversals counts flits crossing an inter-router link.
+	LinkTraversals uint64
+	// VAOps counts virtual-channel allocation attempts (stage-1
+	// arbitration activations).
+	VAOps uint64
+	// SAOps counts switch-allocation activations.
+	SAOps uint64
+	// VCGrants counts successful VC allocations (token grants).
+	VCGrants uint64
+}
+
+// Sub returns the counter difference c - other (for windowed
+// measurement over cumulative counters).
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		BufferWrites:   c.BufferWrites - other.BufferWrites,
+		BufferReads:    c.BufferReads - other.BufferReads,
+		XbarTraversals: c.XbarTraversals - other.XbarTraversals,
+		LinkTraversals: c.LinkTraversals - other.LinkTraversals,
+		VAOps:          c.VAOps - other.VAOps,
+		SAOps:          c.SAOps - other.SAOps,
+		VCGrants:       c.VCGrants - other.VCGrants,
+	}
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.BufferWrites += other.BufferWrites
+	c.BufferReads += other.BufferReads
+	c.XbarTraversals += other.XbarTraversals
+	c.LinkTraversals += other.LinkTraversals
+	c.VAOps += other.VAOps
+	c.SAOps += other.SAOps
+	c.VCGrants += other.VCGrants
+}
+
+// SeriesPoint is one sample of a time-series metric.
+type SeriesPoint struct {
+	Cycle int64
+	Value float64
+}
+
+// ChannelLoad is the measured utilization of one inter-router link.
+type ChannelLoad struct {
+	// From and To are the endpoint node IDs; Port is the output port
+	// at From.
+	From, To, Port int
+	// Load is flits per cycle over the measurement window (link
+	// capacity is 1).
+	Load float64
+}
+
+// Results is the outcome of one simulation run.
+type Results struct {
+	// Label identifies the configuration ("GEN-16", "ViC-8", ...).
+	Label string
+	// InjectionRate echoes the offered load in flits/node/cycle.
+	InjectionRate float64
+
+	// AvgLatency is the mean packet latency in cycles (creation to
+	// tail ejection) over the measurement window.
+	AvgLatency float64
+	// AvgQueueLatency is the mean time packets spent waiting in their
+	// source queue before the head flit entered the network.
+	AvgQueueLatency float64
+	// AvgNetworkLatency is the mean in-network time (head injection
+	// to tail ejection); AvgLatency = AvgQueueLatency +
+	// AvgNetworkLatency.
+	AvgNetworkLatency float64
+	// P50Latency, P95Latency and P99Latency are latency percentiles
+	// over the measured packets; MaxLatency is the worst case.
+	P50Latency float64
+	P95Latency float64
+	P99Latency float64
+	MaxLatency int64
+	// Throughput is network-wide ejected flits per cycle during the
+	// measurement window.
+	Throughput float64
+	// AvgOccupancy is the mean fraction of buffer slots occupied
+	// (0..1) sampled over the measurement window.
+	AvgOccupancy float64
+	// AvgInUseVCs is the mean number of in-use virtual channels per
+	// router port over the measurement window.
+	AvgInUseVCs float64
+	// PerNodeVCs is the per-node mean of in-use VCs per port — the
+	// spatial map of paper Figure 13(e).
+	PerNodeVCs []float64
+	// VCSeries is the temporal evolution of network-mean in-use VCs —
+	// paper Figure 13(f). Sampled from cycle zero (including warm-up).
+	VCSeries []SeriesPoint
+
+	// MeasuredPackets is the number of packets in the latency
+	// average.
+	MeasuredPackets int64
+	// EjectedPackets is the total ejected, including warm-up.
+	EjectedPackets int64
+	// MeasureCycles is the length of the measurement window.
+	MeasureCycles int64
+	// TotalCycles is the complete run length.
+	TotalCycles int64
+	// Saturated is set when the run hit its cycle cap before ejecting
+	// its quota — the network could not sustain the offered load.
+	Saturated bool
+
+	// ChannelLoads is the per-link utilization over the measurement
+	// window (inter-router links only), and MaxChannelLoad its
+	// maximum — the bottleneck channel.
+	ChannelLoads   []ChannelLoad
+	MaxChannelLoad float64
+
+	// Counters are the activity totals over the measurement window.
+	Counters Counters
+	// AvgPowerWatts is filled in by the power model (0 if unused).
+	AvgPowerWatts float64
+}
+
+func (r *Results) String() string {
+	return fmt.Sprintf("%s@%.3f: lat=%.1f thr=%.2f occ=%.1f%% vcs=%.2f pkts=%d sat=%v",
+		r.Label, r.InjectionRate, r.AvgLatency, r.Throughput,
+		r.AvgOccupancy*100, r.AvgInUseVCs, r.MeasuredPackets, r.Saturated)
+}
+
+// Collector accumulates metrics during a run. The network calls its
+// hooks; it is not safe for concurrent use (the simulator tick loop
+// is single-threaded by design).
+type Collector struct {
+	warmup  int64
+	measure int64
+	nodes   int
+
+	ejected      int64
+	measured     int64
+	latencySum   float64
+	queueSum     float64
+	latencies    []int64
+	ejectedFlits int64
+
+	measuring    bool
+	measureStart int64
+	measureEnd   int64
+
+	occSum     float64
+	occSamples int64
+
+	vcSum        float64
+	vcSamples    int64
+	perNodeSum   []float64
+	perNodeCount int64
+
+	series []SeriesPoint
+
+	counters Counters
+}
+
+// NewCollector returns a collector for the given measurement protocol
+// over a network of nodes nodes.
+func NewCollector(warmupPackets, measurePackets, nodes int) *Collector {
+	return &Collector{
+		warmup:     int64(warmupPackets),
+		measure:    int64(measurePackets),
+		nodes:      nodes,
+		perNodeSum: make([]float64, nodes),
+	}
+}
+
+// Measuring reports whether the measurement window is open at the
+// given moment.
+func (c *Collector) Measuring() bool { return c.measuring }
+
+// Done reports whether the ejection quota has been met.
+func (c *Collector) Done() bool { return c.ejected >= c.warmup+c.measure }
+
+// Ejected returns the total ejected packet count so far.
+func (c *Collector) Ejected() int64 { return c.ejected }
+
+// PacketEjected records the ejection of p at cycle now.
+func (c *Collector) PacketEjected(p *flit.Packet, now int64) {
+	c.ejected++
+	if c.ejected == c.warmup {
+		c.measuring = true
+		c.measureStart = now
+	}
+	if c.warmup == 0 && c.ejected == 1 {
+		c.measuring = true
+		c.measureStart = p.CreatedAt
+	}
+	if c.measuring && c.ejected > c.warmup && c.measured < c.measure {
+		c.measured++
+		c.latencySum += float64(p.Latency())
+		c.queueSum += float64(p.InjectedAt - p.CreatedAt)
+		c.latencies = append(c.latencies, p.Latency())
+		c.ejectedFlits += int64(p.Size)
+		if c.measured == c.measure {
+			c.measureEnd = now
+			c.measuring = false
+		}
+	}
+}
+
+// Sample records one stats sample: the network-wide buffer occupancy
+// fraction and the per-node mean in-use VC count per port. The VC
+// time series is recorded for the whole run; occupancy and VC
+// averages only accumulate during the measurement window.
+func (c *Collector) Sample(now int64, occupancy float64, perNodeVCs []float64) {
+	mean := 0.0
+	for _, v := range perNodeVCs {
+		mean += v
+	}
+	if len(perNodeVCs) > 0 {
+		mean /= float64(len(perNodeVCs))
+	}
+	c.series = append(c.series, SeriesPoint{Cycle: now, Value: mean})
+
+	if !c.measuring {
+		return
+	}
+	c.occSum += occupancy
+	c.occSamples++
+	c.vcSum += mean
+	c.vcSamples++
+	for i, v := range perNodeVCs {
+		if i < len(c.perNodeSum) {
+			c.perNodeSum[i] += v
+		}
+	}
+	c.perNodeCount++
+}
+
+// AddCounters accumulates activity events; the network only calls it
+// for events inside the measurement window.
+func (c *Collector) AddCounters(delta Counters) { c.counters.Add(delta) }
+
+// Finalize closes the run at cycle now and computes the results.
+// saturated marks a run that hit its cycle cap short of its quota.
+func (c *Collector) Finalize(now int64, saturated bool) Results {
+	r := Results{
+		MeasuredPackets: c.measured,
+		EjectedPackets:  c.ejected,
+		TotalCycles:     now,
+		Saturated:       saturated,
+		Counters:        c.counters,
+		VCSeries:        c.series,
+	}
+	end := c.measureEnd
+	if end == 0 {
+		end = now
+	}
+	if c.measureStart > 0 || c.warmup == 0 {
+		r.MeasureCycles = end - c.measureStart
+	}
+	if c.measured > 0 {
+		r.AvgLatency = c.latencySum / float64(c.measured)
+		r.AvgQueueLatency = c.queueSum / float64(c.measured)
+		r.AvgNetworkLatency = r.AvgLatency - r.AvgQueueLatency
+		sorted := make([]int64, len(c.latencies))
+		copy(sorted, c.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.P50Latency = percentile(sorted, 0.50)
+		r.P95Latency = percentile(sorted, 0.95)
+		r.P99Latency = percentile(sorted, 0.99)
+		r.MaxLatency = sorted[len(sorted)-1]
+	}
+	if r.MeasureCycles > 0 {
+		r.Throughput = float64(c.ejectedFlits) / float64(r.MeasureCycles)
+	}
+	if c.occSamples > 0 {
+		r.AvgOccupancy = c.occSum / float64(c.occSamples)
+	}
+	if c.vcSamples > 0 {
+		r.AvgInUseVCs = c.vcSum / float64(c.vcSamples)
+	}
+	r.PerNodeVCs = make([]float64, c.nodes)
+	if c.perNodeCount > 0 {
+		for i := range r.PerNodeVCs {
+			r.PerNodeVCs[i] = c.perNodeSum[i] / float64(c.perNodeCount)
+		}
+	}
+	return r
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vichar/internal/flit"
+)
+
+func eject(c *Collector, now, created int64) {
+	c.PacketEjected(&flit.Packet{Size: 4, CreatedAt: created, EjectedAt: now}, now)
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	c := NewCollector(2, 3, 4)
+	// Two warm-up packets with huge latencies must not count.
+	eject(c, 1000, 0)
+	eject(c, 2000, 0)
+	if c.Measuring() != true {
+		t.Fatal("measurement window should open at the warm-up boundary")
+	}
+	// Three measured packets with latency 10 each.
+	eject(c, 2010, 2000)
+	eject(c, 2020, 2010)
+	eject(c, 2030, 2020)
+	if !c.Done() {
+		t.Fatal("quota met but not done")
+	}
+	r := c.Finalize(2030, false)
+	if r.AvgLatency != 10 {
+		t.Fatalf("avg latency %.1f, want 10 (warm-up leaked in)", r.AvgLatency)
+	}
+	if r.MeasuredPackets != 3 || r.EjectedPackets != 5 {
+		t.Fatalf("measured %d / ejected %d", r.MeasuredPackets, r.EjectedPackets)
+	}
+}
+
+func TestThroughputOverWindow(t *testing.T) {
+	c := NewCollector(1, 2, 4)
+	eject(c, 100, 0)   // warm-up; window opens at cycle 100
+	eject(c, 150, 140) // measured, 4 flits
+	eject(c, 200, 190) // measured, 4 flits; window closes at 200
+	r := c.Finalize(500, false)
+	if r.MeasureCycles != 100 {
+		t.Fatalf("window %d cycles, want 100", r.MeasureCycles)
+	}
+	if math.Abs(r.Throughput-8.0/100) > 1e-9 {
+		t.Fatalf("throughput %.4f, want 0.08", r.Throughput)
+	}
+}
+
+func TestQuotaStopsLatencyAccumulation(t *testing.T) {
+	c := NewCollector(0, 1, 4)
+	eject(c, 10, 0) // the one measured packet: latency 10
+	eject(c, 99999, 0)
+	r := c.Finalize(99999, false)
+	if r.AvgLatency != 10 {
+		t.Fatalf("post-quota ejection leaked into latency: %.1f", r.AvgLatency)
+	}
+}
+
+func TestZeroWarmup(t *testing.T) {
+	c := NewCollector(0, 2, 4)
+	eject(c, 50, 40)
+	eject(c, 60, 45)
+	r := c.Finalize(60, false)
+	if r.MeasuredPackets != 2 || r.AvgLatency != 12.5 {
+		t.Fatalf("zero-warm-up stats wrong: %+v", r)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector(1, 10, 2)
+	// Before measurement: series recorded, averages not.
+	c.Sample(10, 0.5, []float64{2, 4})
+	eject(c, 20, 0) // opens the window
+	c.Sample(30, 0.25, []float64{1, 3})
+	c.Sample(40, 0.75, []float64{3, 5})
+	r := c.Finalize(50, true)
+	if len(r.VCSeries) != 3 {
+		t.Fatalf("series has %d points, want 3 (pre-window included)", len(r.VCSeries))
+	}
+	if math.Abs(r.AvgOccupancy-0.5) > 1e-9 {
+		t.Fatalf("occupancy %.3f, want mean of measured samples 0.5", r.AvgOccupancy)
+	}
+	if math.Abs(r.AvgInUseVCs-3.0) > 1e-9 {
+		t.Fatalf("avg VCs %.3f, want 3", r.AvgInUseVCs)
+	}
+	if math.Abs(r.PerNodeVCs[0]-2.0) > 1e-9 || math.Abs(r.PerNodeVCs[1]-4.0) > 1e-9 {
+		t.Fatalf("per-node VCs %v", r.PerNodeVCs)
+	}
+	if !r.Saturated {
+		t.Fatal("saturation flag lost")
+	}
+}
+
+func TestCountersAddSub(t *testing.T) {
+	a := Counters{BufferWrites: 10, BufferReads: 8, XbarTraversals: 7, LinkTraversals: 6, VAOps: 5, SAOps: 4, VCGrants: 3}
+	b := Counters{BufferWrites: 1, BufferReads: 2, XbarTraversals: 3, LinkTraversals: 4, VAOps: 1, SAOps: 1, VCGrants: 1}
+	d := a.Sub(b)
+	if d.BufferWrites != 9 || d.BufferReads != 6 || d.XbarTraversals != 4 ||
+		d.LinkTraversals != 2 || d.VAOps != 4 || d.SAOps != 3 || d.VCGrants != 2 {
+		t.Fatalf("sub wrong: %+v", d)
+	}
+	var sum Counters
+	sum.Add(a)
+	sum.Add(b)
+	if sum.BufferWrites != 11 || sum.VCGrants != 4 {
+		t.Fatalf("add wrong: %+v", sum)
+	}
+}
+
+func TestResultsString(t *testing.T) {
+	r := Results{Label: "ViC-16", InjectionRate: 0.25, AvgLatency: 36.5,
+		Throughput: 15.9, AvgOccupancy: 0.051, AvgInUseVCs: 0.75, MeasuredPackets: 100}
+	s := r.String()
+	for _, want := range []string{"ViC-16", "0.250", "36.5", "15.90", "5.1%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("results string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFinalizeWithoutQuota(t *testing.T) {
+	// A saturated run never opens the window; finalize must not
+	// divide by zero or fabricate metrics.
+	c := NewCollector(100, 100, 4)
+	eject(c, 10, 0)
+	r := c.Finalize(5000, true)
+	if r.AvgLatency != 0 || r.MeasuredPackets != 0 {
+		t.Fatalf("unopened window fabricated metrics: %+v", r)
+	}
+	if !r.Saturated || r.EjectedPackets != 1 {
+		t.Fatalf("run accounting wrong: %+v", r)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	c := NewCollector(0, 100, 4)
+	// Latencies 1..100.
+	for i := int64(1); i <= 100; i++ {
+		eject(c, 1000+i, 1000+i-i) // latency = i
+	}
+	r := c.Finalize(1100, false)
+	if r.MaxLatency != 100 {
+		t.Fatalf("max %d, want 100", r.MaxLatency)
+	}
+	if r.P50Latency < 50 || r.P50Latency > 51 {
+		t.Fatalf("p50 %.2f, want ≈50.5", r.P50Latency)
+	}
+	if r.P95Latency < 95 || r.P95Latency > 96 {
+		t.Fatalf("p95 %.2f", r.P95Latency)
+	}
+	if r.P99Latency < 99 || r.P99Latency > 100 {
+		t.Fatalf("p99 %.2f", r.P99Latency)
+	}
+	if r.P50Latency > r.P95Latency || r.P95Latency > r.P99Latency {
+		t.Fatal("percentiles not ordered")
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty sample percentile nonzero")
+	}
+	if got := percentile([]int64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton percentile %.1f", got)
+	}
+	if got := percentile([]int64{1, 3}, 0.5); got != 2 {
+		t.Fatalf("interpolated median %.1f, want 2", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package synth is the stand-in for the paper's Synopsys Design
+// Compiler + TSMC 90 nm synthesis flow (1 V, 500 MHz). It is an
+// analytical area/power model anchored to the paper's measured
+// Table 1 values and extrapolated with first-order structural scaling
+// rules, so that:
+//
+//   - at the calibration point (P=5, v=4, k=4, 128-bit flits) it
+//     reproduces Table 1 exactly, and
+//   - away from it (e.g. halved buffers) it reproduces the paper's
+//     router-level claims: ~30% area and ~34% power savings for a
+//     ViChaR router with half the buffer slots of a generic router.
+//
+// Scaling rules:
+//
+//   - buffer slots: ∝ slots × flit width (register file bits);
+//   - generic control logic: ∝ v (one read/write pointer pair per VC
+//     FIFO);
+//   - ViChaR table-based control (UCL): ∝ rows × ceil(log2 slots)
+//     (the VC Control Table stores slot IDs; trackers and dispenser
+//     are linear in rows);
+//   - allocator logic: matrix-arbiter dominated, ∝ Σ n² over the
+//     design's arbiter sizes (generic VA: v·(v² + (Pv)²) per port;
+//     ViChaR VA: slots² + P²; generic SA: v² + P²; ViChaR SA:
+//     slots² + P²);
+//   - "rest of router" (crossbar, link drivers, clock tree — not in
+//     the per-port Table 1): ∝ P² × width for area, one constant each
+//     for area and power, calibrated so the ViC-8 vs GEN-16 full
+//     router comparison lands on the paper's 30%/34% numbers.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"vichar/internal/config"
+)
+
+// Table 1 anchors: per-input-port area (µm²) and power (mW) of each
+// component at the calibration point P=5, v=4, k=4, 128-bit flits.
+const (
+	calVCs   = 4
+	calDepth = 4
+	calSlots = 16
+	calWidth = 128
+	calPorts = 5
+
+	anchorViCCtrlArea = 12961.16
+	anchorViCBufArea  = 54809.44
+	anchorViCVAArea   = 27613.54
+	anchorViCSAArea   = 6514.90
+
+	anchorGenCtrlArea = 10379.92
+	anchorGenBufArea  = 54809.44
+	anchorGenVAArea   = 38958.80
+	anchorGenSAArea   = 2032.93
+
+	anchorViCCtrlPower = 5.36
+	anchorViCBufPower  = 15.36
+	anchorViCVAPower   = 8.82
+	anchorViCSAPower   = 2.06
+
+	anchorGenCtrlPower = 5.12
+	anchorGenBufPower  = 15.36
+	anchorGenVAPower   = 9.94
+	anchorGenSAPower   = 0.64
+
+	// Rest-of-router constants (crossbar + link drivers + clock):
+	// calibrated so RouterArea/RouterPower reproduce the paper's
+	// "50% smaller ViChaR buffer → ~30% router area and ~34% router
+	// power savings" claim against the 16-slot generic router.
+	restAreaCal  = 520_000.0 // µm²
+	restPowerCal = 108.0     // mW
+)
+
+// Breakdown is the per-component synthesis estimate for one router of
+// a given configuration. Per-port figures follow Table 1's
+// organization; router-level figures add all P ports plus the rest of
+// the router.
+type Breakdown struct {
+	Arch config.BufferArch
+
+	// Per input port, µm².
+	CtrlArea, BufArea, VAArea, SAArea float64
+	// Per input port, mW (peak, at full switching activity).
+	CtrlPower, BufPower, VAPower, SAPower float64
+
+	// Rest of the router (crossbar, links, clock), µm² and mW.
+	RestArea, RestPower float64
+
+	Ports int
+}
+
+// PortArea returns the per-port total in µm² (the Table 1 "TOTAL"
+// row).
+func (b Breakdown) PortArea() float64 { return b.CtrlArea + b.BufArea + b.VAArea + b.SAArea }
+
+// PortPower returns the per-port total in mW.
+func (b Breakdown) PortPower() float64 { return b.CtrlPower + b.BufPower + b.VAPower + b.SAPower }
+
+// RouterArea returns the full router area in µm².
+func (b Breakdown) RouterArea() float64 { return float64(b.Ports)*b.PortArea() + b.RestArea }
+
+// RouterPower returns the full router peak power in mW.
+func (b Breakdown) RouterPower() float64 { return float64(b.Ports)*b.PortPower() + b.RestPower }
+
+// log2ceil returns ceil(log2(n)) with a floor of 1.
+func log2ceil(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// arbiterCost is the matrix-arbiter cost proxy: the n² precedence
+// matrix dominates.
+func arbiterCost(n int) float64 { return float64(n * n) }
+
+// Estimate returns the synthesis estimate for one router of the given
+// configuration. DAMQ and FCCB are estimated as their paper-reported
+// deltas over the corresponding structures (FC-CB: +18% buffer area,
+// +66% buffer dynamic power; DAMQ: generic-like allocators plus a
+// linked-list controller ~1.5x the ViChaR table logic).
+func Estimate(cfg *config.Config) Breakdown {
+	b := Breakdown{Arch: cfg.Arch, Ports: cfg.Ports()}
+
+	widthScale := float64(cfg.BufferSlots*cfg.FlitWidthBits) / float64(calSlots*calWidth)
+	b.BufArea = anchorGenBufArea * widthScale
+	b.BufPower = anchorGenBufPower * widthScale
+
+	p := cfg.Ports()
+	restScale := float64(p*p*cfg.FlitWidthBits) / float64(calPorts*calPorts*calWidth)
+	b.RestArea = restAreaCal * restScale
+	b.RestPower = restPowerCal * restScale
+
+	switch cfg.Arch {
+	case config.Generic, config.DAMQ, config.FCCB:
+		v := cfg.VCs
+		ctrlScale := float64(v) / calVCs
+		b.CtrlArea = anchorGenCtrlArea * ctrlScale
+		b.CtrlPower = anchorGenCtrlPower * ctrlScale
+
+		vaScale := (float64(v) * (arbiterCost(v) + arbiterCost(p*v))) /
+			(calVCs * (arbiterCost(calVCs) + arbiterCost(calPorts*calVCs)))
+		b.VAArea = anchorGenVAArea * vaScale
+		b.VAPower = anchorGenVAPower * vaScale
+
+		saScale := (arbiterCost(v) + arbiterCost(p)) /
+			(arbiterCost(calVCs) + arbiterCost(calPorts))
+		b.SAArea = anchorGenSAArea * saScale
+		b.SAPower = anchorGenSAPower * saScale
+
+		if cfg.Arch == config.FCCB {
+			// Paper §2: the FC-CB's circular shifter MUXes add ~18%
+			// buffer area and its continuous shifting adds ~66%
+			// dynamic buffer power over a stationary buffer.
+			b.BufArea *= 1.18
+			b.BufPower *= 1.66
+		}
+		if cfg.Arch == config.DAMQ {
+			// Linked-list pointer registers and free list: costlier
+			// than ViChaR's table (the motivation for the table-based
+			// redesign); modeled at 1.5x.
+			uclScale := float64(cfg.BufferSlots) * log2ceil(cfg.BufferSlots) / (calSlots * log2ceil(calSlots))
+			b.CtrlArea = 1.5 * anchorViCCtrlArea * uclScale
+			b.CtrlPower = 1.5 * anchorViCCtrlPower * uclScale
+		}
+
+	case config.ViChaR:
+		rows := cfg.BufferSlots
+		uclScale := float64(rows) * log2ceil(rows) / (calSlots * log2ceil(calSlots))
+		b.CtrlArea = anchorViCCtrlArea * uclScale
+		b.CtrlPower = anchorViCCtrlPower * uclScale
+
+		vaScale := (arbiterCost(rows) + arbiterCost(p)) /
+			(arbiterCost(calSlots) + arbiterCost(calPorts))
+		b.VAArea = anchorViCVAArea * vaScale
+		b.VAPower = anchorViCVAPower * vaScale
+
+		saScale := vaScale
+		b.SAArea = anchorViCSAArea * saScale
+		b.SAPower = anchorViCSAPower * saScale
+
+	default:
+		panic(fmt.Sprintf("synth: unknown buffer architecture %v", cfg.Arch))
+	}
+	return b
+}
+
+// Table1Row is one line of the reproduced Table 1.
+type Table1Row struct {
+	Component string
+	AreaUm2   float64
+	PowerMW   float64
+}
+
+// Table1 regenerates the paper's Table 1: the per-input-port
+// breakdown for the ViChaR and generic architectures at the
+// calibration configuration, plus the overhead/savings lines.
+func Table1() (vichar, generic []Table1Row, areaDelta, powerDelta float64) {
+	vc := config.Default()
+	vc.Arch = config.ViChaR
+	gen := config.Default()
+
+	vb := Estimate(&vc)
+	gb := Estimate(&gen)
+
+	vichar = []Table1Row{
+		{"ViChaR Table-Based Contr. Logic", vb.CtrlArea, vb.CtrlPower},
+		{"ViChaR Buffer Slots (16 slots)", vb.BufArea, vb.BufPower},
+		{"ViChaR VA Logic", vb.VAArea, vb.VAPower},
+		{"ViChaR SA Logic", vb.SAArea, vb.SAPower},
+		{"TOTAL for ViChaR Architecture", vb.PortArea(), vb.PortPower()},
+	}
+	generic = []Table1Row{
+		{"Generic Control Logic", gb.CtrlArea, gb.CtrlPower},
+		{"Generic Buffer Slots (16 slots)", gb.BufArea, gb.BufPower},
+		{"Generic VA Logic", gb.VAArea, gb.VAPower},
+		{"Generic SA Logic", gb.SAArea, gb.SAPower},
+		{"TOTAL for Gen. Architecture", gb.PortArea(), gb.PortPower()},
+	}
+	areaDelta = vb.PortArea() - gb.PortArea()
+	powerDelta = vb.PortPower() - gb.PortPower()
+	return vichar, generic, areaDelta, powerDelta
+}
+
+// HalfBufferSavings returns the router-level area and power savings
+// fractions of a half-size ViChaR router versus the full-size generic
+// router — the paper's headline "30% area, 34% power" claim.
+func HalfBufferSavings() (areaSaving, powerSaving float64) {
+	gen := config.Default()
+	vic := config.Default()
+	vic.Arch = config.ViChaR
+	vic.BufferSlots = gen.BufferSlots / 2
+
+	gb := Estimate(&gen)
+	vb := Estimate(&vic)
+	areaSaving = 1 - vb.RouterArea()/gb.RouterArea()
+	powerSaving = 1 - vb.RouterPower()/gb.RouterPower()
+	return areaSaving, powerSaving
+}

@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"vichar/internal/config"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f ± %.4f", what, got, want, tol)
+	}
+}
+
+// At the calibration point the model must reproduce Table 1 exactly.
+func TestTable1Anchors(t *testing.T) {
+	vic, gen, areaDelta, powerDelta := Table1()
+
+	wantViC := []struct {
+		area, power float64
+	}{
+		{12961.16, 5.36}, {54809.44, 15.36}, {27613.54, 8.82}, {6514.90, 2.06}, {101899.04, 31.60},
+	}
+	for i, w := range wantViC {
+		approx(t, vic[i].AreaUm2, w.area, 0.01, "ViChaR "+vic[i].Component+" area")
+		approx(t, vic[i].PowerMW, w.power, 0.01, "ViChaR "+vic[i].Component+" power")
+	}
+	wantGen := []struct {
+		area, power float64
+	}{
+		{10379.92, 5.12}, {54809.44, 15.36}, {38958.80, 9.94}, {2032.93, 0.64}, {106181.09, 31.06},
+	}
+	for i, w := range wantGen {
+		approx(t, gen[i].AreaUm2, w.area, 0.01, "generic "+gen[i].Component+" area")
+		approx(t, gen[i].PowerMW, w.power, 0.01, "generic "+gen[i].Component+" power")
+	}
+
+	// Paper: 4,282.05 µm² (4.03%) area savings, 0.54 mW (1.74%)
+	// power overhead per port.
+	approx(t, areaDelta, -4282.05, 0.1, "area delta")
+	approx(t, powerDelta, 0.54, 0.01, "power delta")
+	approx(t, -100*areaDelta/gen[4].AreaUm2, 4.03, 0.05, "% area savings")
+	approx(t, 100*powerDelta/gen[4].PowerMW, 1.74, 0.05, "% power overhead")
+}
+
+// The paper's headline: ViC-8 router vs GEN-16 router saves ~30%
+// area and ~34% power.
+func TestHalfBufferSavings(t *testing.T) {
+	area, power := HalfBufferSavings()
+	approx(t, area, 0.30, 0.02, "half-buffer area saving")
+	approx(t, power, 0.34, 0.02, "half-buffer power saving")
+}
+
+func TestBufferScalesWithSlotsAndWidth(t *testing.T) {
+	cfg := config.Default()
+	base := Estimate(&cfg)
+
+	cfg2 := cfg
+	cfg2.VCDepth = 8
+	cfg2.BufferSlots = 32
+	doubleSlots := Estimate(&cfg2)
+	approx(t, doubleSlots.BufArea/base.BufArea, 2.0, 1e-9, "slots area scaling")
+	approx(t, doubleSlots.BufPower/base.BufPower, 2.0, 1e-9, "slots power scaling")
+
+	cfg3 := cfg
+	cfg3.FlitWidthBits = 64
+	halfWidth := Estimate(&cfg3)
+	approx(t, halfWidth.BufArea/base.BufArea, 0.5, 1e-9, "width area scaling")
+}
+
+func TestViCharControlScalesWithRows(t *testing.T) {
+	a := config.Default()
+	a.Arch = config.ViChaR
+	b := a
+	b.BufferSlots = 8
+	ba, bb := Estimate(&a), Estimate(&b)
+	if bb.CtrlArea >= ba.CtrlArea {
+		t.Fatal("smaller table not smaller")
+	}
+	if bb.VAArea >= ba.VAArea || bb.SAArea >= ba.SAArea {
+		t.Fatal("smaller arbiters not smaller")
+	}
+}
+
+func TestGenericAllocatorScalesWithVCs(t *testing.T) {
+	a := config.Default()
+	b := a
+	b.VCs, b.VCDepth, b.BufferSlots = 8, 2, 16
+	ba, bb := Estimate(&a), Estimate(&b)
+	if bb.VAArea <= ba.VAArea {
+		t.Fatal("more VCs should cost more VA area")
+	}
+	// Equal buffer storage costs the same.
+	approx(t, bb.BufArea, ba.BufArea, 1e-6, "equal-slot buffer area")
+}
+
+// The paper's FC-CB measurements: +18% buffer area, +66% buffer
+// dynamic power over a stationary buffer.
+func TestFCCBDeltas(t *testing.T) {
+	gen := config.Default()
+	fc := gen
+	fc.Arch = config.FCCB
+	g, f := Estimate(&gen), Estimate(&fc)
+	approx(t, f.BufArea/g.BufArea, 1.18, 1e-9, "FC-CB buffer area factor")
+	approx(t, f.BufPower/g.BufPower, 1.66, 1e-9, "FC-CB buffer power factor")
+}
+
+func TestDAMQControlCostlierThanViChaR(t *testing.T) {
+	d := config.Default()
+	d.Arch = config.DAMQ
+	v := config.Default()
+	v.Arch = config.ViChaR
+	bd, bv := Estimate(&d), Estimate(&v)
+	if bd.CtrlArea <= bv.CtrlArea {
+		t.Fatal("DAMQ linked-list control should exceed ViChaR's table")
+	}
+}
+
+func TestRouterTotalsComposition(t *testing.T) {
+	cfg := config.Default()
+	b := Estimate(&cfg)
+	approx(t, b.RouterArea(), 5*b.PortArea()+b.RestArea, 1e-6, "router area composition")
+	approx(t, b.RouterPower(), 5*b.PortPower()+b.RestPower, 1e-9, "router power composition")
+	if b.PortArea() <= 0 || b.PortPower() <= 0 || b.RestArea <= 0 {
+		t.Fatal("non-positive estimates")
+	}
+}
+
+func TestViC16RouterSlightlySmaller(t *testing.T) {
+	gen := config.Default()
+	vic := gen
+	vic.Arch = config.ViChaR
+	g, v := Estimate(&gen), Estimate(&vic)
+	ratio := v.RouterArea() / g.RouterArea()
+	if ratio >= 1.0 || ratio < 0.95 {
+		t.Fatalf("equal-size ViChaR router area ratio %.4f, want slightly below 1", ratio)
+	}
+	pr := v.RouterPower() / g.RouterPower()
+	if pr <= 1.0 || pr > 1.05 {
+		t.Fatalf("equal-size ViChaR router power ratio %.4f, want slightly above 1", pr)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]float64{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %g, want %g", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package topology models the 2-D mesh interconnect the paper
+// evaluates on: every node couples a router to a processing element;
+// routers have four cardinal ports plus the local PE port.
+package topology
+
+import "fmt"
+
+// Port indices of a 5-port mesh router. The four cardinal directions
+// carry inter-router links; Local connects the processing element.
+const (
+	North = 0
+	East  = 1
+	South = 2
+	West  = 3
+	Local = 4
+	// NumPorts is the router radix P (paper: P=5).
+	NumPorts = 5
+)
+
+// PortName returns the conventional name of a port index.
+func PortName(p int) string {
+	switch p {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// Opposite returns the port on the far side of a link: a flit leaving
+// through North enters its neighbor through South, and so on. Local
+// has no opposite and panics.
+func Opposite(p int) int {
+	switch p {
+	case North:
+		return South
+	case East:
+		return West
+	case South:
+		return North
+	case West:
+		return East
+	default:
+		panic(fmt.Sprintf("topology: port %s has no opposite", PortName(p)))
+	}
+}
+
+// Mesh is a Width x Height 2-D mesh, optionally with wraparound links
+// in both dimensions (a 2-D torus). Node IDs are row-major:
+// node = y*Width + x, with x growing East and y growing South.
+type Mesh struct {
+	Width, Height int
+	// Torus adds the wraparound links: leaving East from the last
+	// column arrives at the first, and so on. Wrap links close rings,
+	// so routing over them needs escape channels for deadlock
+	// recovery.
+	Torus bool
+}
+
+// New returns a mesh of the given dimensions.
+func New(width, height int) Mesh {
+	if width < 1 || height < 1 {
+		panic(fmt.Sprintf("topology: mesh dimensions must be positive, got %dx%d", width, height))
+	}
+	return Mesh{Width: width, Height: height}
+}
+
+// NewTorus returns a torus of the given dimensions.
+func NewTorus(width, height int) Mesh {
+	m := New(width, height)
+	m.Torus = true
+	return m
+}
+
+// Nodes returns the node count.
+func (m Mesh) Nodes() int { return m.Width * m.Height }
+
+// XY returns the coordinates of a node.
+func (m Mesh) XY(node int) (x, y int) {
+	if node < 0 || node >= m.Nodes() {
+		panic(fmt.Sprintf("topology: node %d outside %dx%d mesh", node, m.Width, m.Height))
+	}
+	return node % m.Width, node / m.Width
+}
+
+// Node returns the node at the given coordinates.
+func (m Mesh) Node(x, y int) int {
+	if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+		panic(fmt.Sprintf("topology: (%d,%d) outside %dx%d mesh", x, y, m.Width, m.Height))
+	}
+	return y*m.Width + x
+}
+
+// Neighbor returns the node reached by leaving node through the given
+// cardinal port, and whether such a neighbor exists. On a mesh, edge
+// routers lack some neighbors; on a torus every cardinal port wraps.
+// Local never has one.
+func (m Mesh) Neighbor(node, port int) (int, bool) {
+	x, y := m.XY(node)
+	switch port {
+	case North:
+		y--
+	case East:
+		x++
+	case South:
+		y++
+	case West:
+		x--
+	default:
+		return 0, false
+	}
+	if m.Torus {
+		x = (x + m.Width) % m.Width
+		y = (y + m.Height) % m.Height
+		return m.Node(x, y), true
+	}
+	if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+		return 0, false
+	}
+	return m.Node(x, y), true
+}
+
+// Hops returns the minimal hop distance between two nodes, accounting
+// for wraparound on a torus.
+func (m Mesh) Hops(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	dx := abs(ax - bx)
+	dy := abs(ay - by)
+	if m.Torus {
+		if w := m.Width - dx; w < dx {
+			dx = w
+		}
+		if w := m.Height - dy; w < dy {
+			dy = w
+		}
+	}
+	return dx + dy
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

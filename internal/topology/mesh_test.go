@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordinateRoundTrip(t *testing.T) {
+	m := New(8, 8)
+	for n := 0; n < m.Nodes(); n++ {
+		x, y := m.XY(n)
+		if m.Node(x, y) != n {
+			t.Fatalf("node %d -> (%d,%d) -> %d", n, x, y, m.Node(x, y))
+		}
+	}
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	m := New(4, 3)
+	if m.Nodes() != 12 {
+		t.Fatalf("nodes %d", m.Nodes())
+	}
+	if m.Node(0, 0) != 0 || m.Node(3, 0) != 3 || m.Node(0, 1) != 4 || m.Node(3, 2) != 11 {
+		t.Fatal("row-major layout broken")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	m := New(4, 4)
+	center := m.Node(1, 1)
+	cases := []struct {
+		port int
+		x, y int
+	}{
+		{North, 1, 0},
+		{East, 2, 1},
+		{South, 1, 2},
+		{West, 0, 1},
+	}
+	for _, c := range cases {
+		nb, ok := m.Neighbor(center, c.port)
+		if !ok || nb != m.Node(c.x, c.y) {
+			t.Errorf("port %s: got %d ok=%v, want %d", PortName(c.port), nb, ok, m.Node(c.x, c.y))
+		}
+	}
+	if _, ok := m.Neighbor(center, Local); ok {
+		t.Error("local port has a neighbor")
+	}
+}
+
+func TestEdgesHaveNoNeighbor(t *testing.T) {
+	m := New(4, 4)
+	if _, ok := m.Neighbor(m.Node(0, 0), North); ok {
+		t.Error("north of top row exists")
+	}
+	if _, ok := m.Neighbor(m.Node(0, 0), West); ok {
+		t.Error("west of left column exists")
+	}
+	if _, ok := m.Neighbor(m.Node(3, 3), South); ok {
+		t.Error("south of bottom row exists")
+	}
+	if _, ok := m.Neighbor(m.Node(3, 3), East); ok {
+		t.Error("east of right column exists")
+	}
+}
+
+// Property: neighborship is symmetric through opposite ports.
+func TestNeighborSymmetry(t *testing.T) {
+	m := New(6, 5)
+	prop := func(n uint8, p uint8) bool {
+		node := int(n) % m.Nodes()
+		port := int(p) % 4
+		nb, ok := m.Neighbor(node, port)
+		if !ok {
+			return true
+		}
+		back, ok2 := m.Neighbor(nb, Opposite(port))
+		return ok2 && back == node
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := [][2]int{{North, South}, {East, West}}
+	for _, p := range pairs {
+		if Opposite(p[0]) != p[1] || Opposite(p[1]) != p[0] {
+			t.Errorf("opposite of %s/%s wrong", PortName(p[0]), PortName(p[1]))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Opposite(Local) did not panic")
+		}
+	}()
+	Opposite(Local)
+}
+
+func TestHops(t *testing.T) {
+	m := New(8, 8)
+	if m.Hops(m.Node(0, 0), m.Node(7, 7)) != 14 {
+		t.Error("corner-to-corner hops wrong")
+	}
+	if m.Hops(m.Node(3, 3), m.Node(3, 3)) != 0 {
+		t.Error("self hops nonzero")
+	}
+	if m.Hops(m.Node(2, 5), m.Node(6, 1)) != 8 {
+		t.Error("manhattan distance wrong")
+	}
+}
+
+func TestPortNames(t *testing.T) {
+	want := map[int]string{North: "N", East: "E", South: "S", West: "W", Local: "L"}
+	for p, n := range want {
+		if PortName(p) != n {
+			t.Errorf("port %d named %q", p, PortName(p))
+		}
+	}
+	if PortName(9) != "port9" {
+		t.Errorf("unknown port named %q", PortName(9))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(4, 4)
+	for i, f := range []func(){
+		func() { New(0, 4) },
+		func() { m.XY(-1) },
+		func() { m.XY(16) },
+		func() { m.Node(4, 0) },
+		func() { m.Node(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	m := NewTorus(4, 3)
+	// East from the last column wraps to the first.
+	if nb, ok := m.Neighbor(m.Node(3, 1), East); !ok || nb != m.Node(0, 1) {
+		t.Fatalf("east wrap -> %d, %v", nb, ok)
+	}
+	if nb, ok := m.Neighbor(m.Node(0, 1), West); !ok || nb != m.Node(3, 1) {
+		t.Fatalf("west wrap -> %d, %v", nb, ok)
+	}
+	if nb, ok := m.Neighbor(m.Node(2, 0), North); !ok || nb != m.Node(2, 2) {
+		t.Fatalf("north wrap -> %d, %v", nb, ok)
+	}
+	if nb, ok := m.Neighbor(m.Node(2, 2), South); !ok || nb != m.Node(2, 0) {
+		t.Fatalf("south wrap -> %d, %v", nb, ok)
+	}
+	if _, ok := m.Neighbor(0, Local); ok {
+		t.Fatal("local port has a neighbor on torus")
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	m := NewTorus(8, 8)
+	// Corner to corner is 2 hops on a torus (1 wrap in each dim).
+	if got := m.Hops(m.Node(0, 0), m.Node(7, 7)); got != 2 {
+		t.Fatalf("torus corner hops %d, want 2", got)
+	}
+	// Half-way around: 4 in each dimension.
+	if got := m.Hops(m.Node(0, 0), m.Node(4, 4)); got != 8 {
+		t.Fatalf("torus half-way hops %d, want 8", got)
+	}
+	// Mesh distances unchanged when shorter.
+	if got := m.Hops(m.Node(1, 1), m.Node(3, 2)); got != 3 {
+		t.Fatalf("short torus hops %d, want 3", got)
+	}
+}
+
+// Property: torus neighborship stays symmetric through opposite ports
+// including across the wrap.
+func TestTorusNeighborSymmetry(t *testing.T) {
+	m := NewTorus(5, 4)
+	for node := 0; node < m.Nodes(); node++ {
+		for port := 0; port < Local; port++ {
+			nb, ok := m.Neighbor(node, port)
+			if !ok {
+				t.Fatalf("torus node %d port %s has no neighbor", node, PortName(port))
+			}
+			back, ok := m.Neighbor(nb, Opposite(port))
+			if !ok || back != node {
+				t.Fatalf("torus symmetry broken at %d port %s", node, PortName(port))
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package traffic implements the paper's workload generators: the
+// temporal injection processes (Uniform Random Bernoulli injection
+// and Self-Similar Pareto ON/OFF bursts) and the spatial destination
+// patterns (Normal Random and Tornado from the paper's evaluation,
+// plus the standard Transpose, Bit-Complement and Hotspot patterns).
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vichar/internal/config"
+	"vichar/internal/topology"
+)
+
+// Generator produces packet creation events for every node. Each node
+// owns an independent deterministic random stream so results are
+// reproducible and insensitive to node iteration order.
+type Generator struct {
+	cfg     *config.Config
+	mesh    topology.Mesh
+	pktProb float64 // per-cycle packet probability at the target rate
+	rngs    []*rand.Rand
+	onoff   []onOffState // used when cfg.Traffic == SelfSimilar
+	peak    float64      // ON-state injection rate, flits/cycle
+	hot     int          // hotspot destination node
+}
+
+// onOffState is one Pareto ON/OFF source: ON periods inject at the
+// peak rate, OFF periods are silent; both durations are Pareto
+// distributed, whose heavy tail produces self-similar aggregate
+// traffic.
+type onOffState struct {
+	on        bool
+	remaining int64
+}
+
+// Shape parameters of the ON/OFF source. alphaOn=1.9 is the classic
+// measured Ethernet value (finite mean, infinite variance);
+// meanOn=40 cycles keeps bursts several packets long.
+const (
+	alphaOn  = 1.9
+	alphaOff = 1.25
+	meanOn   = 40.0
+)
+
+// defaultHotspotFraction applies when the Hotspot pattern is selected
+// without an explicit fraction.
+const defaultHotspotFraction = 0.1
+
+// New returns a generator for the configuration. It panics on a
+// configuration whose rate cannot be realized (rate above the ON-peak
+// for self-similar traffic).
+func New(cfg *config.Config, mesh topology.Mesh) *Generator {
+	g := &Generator{
+		cfg:     cfg,
+		mesh:    mesh,
+		pktProb: cfg.InjectionRate / meanPacketSize(cfg),
+		rngs:    make([]*rand.Rand, mesh.Nodes()),
+		peak:    1.0,
+		hot:     mesh.Node(mesh.Width/2, mesh.Height/2),
+	}
+	for i := range g.rngs {
+		// Distinct, seed-derived stream per node; the large odd
+		// multiplier decorrelates adjacent node streams.
+		g.rngs[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 11))
+	}
+	if cfg.Traffic == config.SelfSimilar {
+		if cfg.InjectionRate >= g.peak {
+			panic(fmt.Sprintf("traffic: self-similar rate %g must stay below the ON-peak %g", cfg.InjectionRate, g.peak))
+		}
+		g.onoff = make([]onOffState, mesh.Nodes())
+		for i := range g.onoff {
+			// Start each source in a random phase of an OFF period so
+			// the network does not begin with synchronized bursts.
+			g.onoff[i] = onOffState{on: false, remaining: 1 + g.rngs[i].Int63n(int64(meanOn))}
+		}
+	}
+	return g
+}
+
+// meanPacketSize returns the expected flits per packet, accounting
+// for the variable-size protocol.
+func meanPacketSize(cfg *config.Config) float64 {
+	if cfg.PacketSizeMax > cfg.PacketSize {
+		return float64(cfg.PacketSize+cfg.PacketSizeMax) / 2
+	}
+	return float64(cfg.PacketSize)
+}
+
+// meanOff returns the OFF-period mean that makes the long-run average
+// rate equal the configured injection rate given the ON peak.
+func (g *Generator) meanOff() float64 {
+	r := g.cfg.InjectionRate
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return meanOn * (g.peak - r) / r
+}
+
+// pareto draws a Pareto(alpha, xm) variate where xm is derived from
+// the requested mean: mean = alpha*xm/(alpha-1).
+func pareto(rng *rand.Rand, alpha, mean float64) int64 {
+	xm := mean * (alpha - 1) / alpha
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	d := xm / math.Pow(u, 1/alpha)
+	if d < 1 {
+		d = 1
+	}
+	if d > 1e7 {
+		d = 1e7 // clamp the heavy tail so one draw cannot stall a run
+	}
+	return int64(d)
+}
+
+// Tick advances every source by one cycle and calls
+// emit(src, dst, size) for each packet created this cycle (at most
+// one per node per cycle).
+func (g *Generator) Tick(now int64, emit func(src, dst, size int)) {
+	for node := 0; node < g.mesh.Nodes(); node++ {
+		if g.generates(node) {
+			dst := g.Destination(node)
+			if dst != node {
+				emit(node, dst, g.PacketSize(node))
+			}
+		}
+	}
+}
+
+// PacketSize draws the next packet's flit count for a source node.
+func (g *Generator) PacketSize(node int) int {
+	if g.cfg.PacketSizeMax > g.cfg.PacketSize {
+		span := g.cfg.PacketSizeMax - g.cfg.PacketSize + 1
+		return g.cfg.PacketSize + g.rngs[node].Intn(span)
+	}
+	return g.cfg.PacketSize
+}
+
+// generates decides whether the node creates a packet this cycle.
+func (g *Generator) generates(node int) bool {
+	rng := g.rngs[node]
+	switch g.cfg.Traffic {
+	case config.UniformRandom:
+		return g.pktProb > 0 && rng.Float64() < g.pktProb
+	case config.SelfSimilar:
+		st := &g.onoff[node]
+		for st.remaining <= 0 {
+			st.on = !st.on
+			if st.on {
+				st.remaining = pareto(rng, alphaOn, meanOn)
+			} else {
+				mo := g.meanOff()
+				if math.IsInf(mo, 1) {
+					st.remaining = math.MaxInt64 / 2
+				} else {
+					st.remaining = pareto(rng, alphaOff, mo)
+				}
+			}
+		}
+		st.remaining--
+		if !st.on {
+			return false
+		}
+		return rng.Float64() < g.peak/meanPacketSize(g.cfg)
+	default:
+		panic(fmt.Sprintf("traffic: unknown process %v", g.cfg.Traffic))
+	}
+}
+
+// Destination draws a destination for a packet created at src
+// according to the configured spatial pattern.
+func (g *Generator) Destination(src int) int {
+	rng := g.rngs[src]
+	switch g.cfg.Dest {
+	case config.NormalRandom:
+		return g.uniformOther(rng, src)
+	case config.Tornado:
+		// Tornado offsets each packet ceil(k/2)-1 hops along X
+		// (Singh et al., ISCA 2003), stressing the X bisection.
+		x, y := g.mesh.XY(src)
+		off := (g.mesh.Width+1)/2 - 1
+		if off == 0 {
+			off = 1
+		}
+		return g.mesh.Node((x+off)%g.mesh.Width, y)
+	case config.Transpose:
+		x, y := g.mesh.XY(src)
+		return g.mesh.Node(y%g.mesh.Width, x%g.mesh.Height)
+	case config.BitComplement:
+		return g.mesh.Nodes() - 1 - src
+	case config.Hotspot:
+		frac := g.cfg.HotspotFraction
+		if frac == 0 {
+			frac = defaultHotspotFraction
+		}
+		if src != g.hot && rng.Float64() < frac {
+			return g.hot
+		}
+		return g.uniformOther(rng, src)
+	default:
+		panic(fmt.Sprintf("traffic: unknown destination pattern %v", g.cfg.Dest))
+	}
+}
+
+// uniformOther draws uniformly among all nodes except src.
+func (g *Generator) uniformOther(rng *rand.Rand, src int) int {
+	n := g.mesh.Nodes()
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// HotNode returns the hotspot destination (the mesh center).
+func (g *Generator) HotNode() int { return g.hot }

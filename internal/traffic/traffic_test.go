@@ -1,0 +1,343 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vichar/internal/config"
+	"vichar/internal/topology"
+)
+
+func cfgWith(proc config.TrafficProcess, dest config.DestPattern, rate float64, seed int64) *config.Config {
+	cfg := config.Default()
+	cfg.Traffic = proc
+	cfg.Dest = dest
+	cfg.InjectionRate = rate
+	cfg.Seed = seed
+	return &cfg
+}
+
+// countPackets runs the generator for cycles and returns total packet
+// creations and per-node counts.
+func countPackets(g *Generator, mesh topology.Mesh, cycles int64) (total int64, perNode []int64) {
+	perNode = make([]int64, mesh.Nodes())
+	for now := int64(1); now <= cycles; now++ {
+		g.Tick(now, func(src, dst, size int) {
+			total++
+			perNode[src]++
+		})
+	}
+	return total, perNode
+}
+
+func TestUniformRandomRateAccuracy(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0.30, 1)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	const cycles = 20_000
+	total, _ := countPackets(g, mesh, cycles)
+	gotRate := float64(total) * float64(cfg.PacketSize) / (cycles * float64(mesh.Nodes()))
+	if math.Abs(gotRate-0.30) > 0.01 {
+		t.Fatalf("offered load %.4f, want 0.30 ± 0.01", gotRate)
+	}
+}
+
+func TestSelfSimilarRateAccuracy(t *testing.T) {
+	cfg := cfgWith(config.SelfSimilar, config.NormalRandom, 0.25, 2)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	const cycles = 60_000
+	total, _ := countPackets(g, mesh, cycles)
+	gotRate := float64(total) * float64(cfg.PacketSize) / (cycles * float64(mesh.Nodes()))
+	// Heavy-tailed sources converge slowly; allow a loose band.
+	if math.Abs(gotRate-0.25) > 0.05 {
+		t.Fatalf("self-similar offered load %.4f, want 0.25 ± 0.05", gotRate)
+	}
+}
+
+// Self-similar traffic must be burstier than Bernoulli at equal mean
+// rate: the variance of per-window packet counts should be clearly
+// larger.
+func TestSelfSimilarBurstiness(t *testing.T) {
+	const rate, cycles, window = 0.25, 40_000, 100
+	variance := func(proc config.TrafficProcess) float64 {
+		cfg := cfgWith(proc, config.NormalRandom, rate, 3)
+		cfg.Width, cfg.Height = 2, 2 // few sources: bursts stay visible
+		mesh := topology.New(cfg.Width, cfg.Height)
+		g := New(cfg, mesh)
+		var counts []float64
+		cur := 0.0
+		for now := int64(1); now <= cycles; now++ {
+			g.Tick(now, func(src, dst, size int) { cur++ })
+			if now%window == 0 {
+				counts = append(counts, cur)
+				cur = 0
+			}
+		}
+		mean := 0.0
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		v := 0.0
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		return v / float64(len(counts))
+	}
+	vUR := variance(config.UniformRandom)
+	vSS := variance(config.SelfSimilar)
+	if vSS < 2*vUR {
+		t.Fatalf("self-similar variance %.2f not clearly above Bernoulli %.2f", vSS, vUR)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, proc := range []config.TrafficProcess{config.UniformRandom, config.SelfSimilar} {
+		cfg := cfgWith(proc, config.NormalRandom, 0.2, 77)
+		mesh := topology.New(cfg.Width, cfg.Height)
+		record := func() [][2]int {
+			g := New(cfg, mesh)
+			var events [][2]int
+			for now := int64(1); now <= 3000; now++ {
+				g.Tick(now, func(src, dst, size int) { events = append(events, [2]int{src, dst}) })
+			}
+			return events
+		}
+		a, b := record(), record()
+		if len(a) != len(b) {
+			t.Fatalf("%v: runs produced %d vs %d events", proc, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: event %d diverged: %v vs %v", proc, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	cfg1 := cfgWith(config.UniformRandom, config.NormalRandom, 0.2, 1)
+	cfg2 := cfgWith(config.UniformRandom, config.NormalRandom, 0.2, 2)
+	mesh := topology.New(cfg1.Width, cfg1.Height)
+	count := func(cfg *config.Config) int64 {
+		g := New(cfg, mesh)
+		var events int64
+		var first int64 = -1
+		for now := int64(1); now <= 500; now++ {
+			g.Tick(now, func(src, dst, size int) {
+				events++
+				if first < 0 {
+					first = now*1000 + int64(src)
+				}
+			})
+		}
+		return first
+	}
+	if count(cfg1) == count(cfg2) {
+		t.Fatal("different seeds produced identical first event")
+	}
+}
+
+func TestNormalRandomNeverSelf(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0.5, 5)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	for now := int64(1); now <= 2000; now++ {
+		g.Tick(now, func(src, dst, size int) {
+			if src == dst {
+				t.Fatalf("self-addressed packet at node %d", src)
+			}
+			if dst < 0 || dst >= mesh.Nodes() {
+				t.Fatalf("destination %d out of range", dst)
+			}
+		})
+	}
+}
+
+func TestNormalRandomCoversAllDestinations(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0.5, 6)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	seen := map[int]bool{}
+	for i := 0; i < 20_000; i++ {
+		seen[g.Destination(0)] = true
+	}
+	if len(seen) != mesh.Nodes()-1 {
+		t.Fatalf("node 0 reached %d destinations of %d", len(seen), mesh.Nodes()-1)
+	}
+}
+
+func TestTornadoPattern(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Tornado, 0.2, 7)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	// Tornado on a width-8 mesh: dst x = (x + 3) mod 8, same y.
+	for src := 0; src < mesh.Nodes(); src++ {
+		dst := g.Destination(src)
+		sx, sy := mesh.XY(src)
+		dx, dy := mesh.XY(dst)
+		if dy != sy || dx != (sx+3)%8 {
+			t.Fatalf("tornado %d(%d,%d) -> %d(%d,%d)", src, sx, sy, dst, dx, dy)
+		}
+	}
+}
+
+func TestTornadoTinyMesh(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Tornado, 0.2, 8)
+	cfg.Width, cfg.Height = 2, 2
+	mesh := topology.New(2, 2)
+	g := New(cfg, mesh)
+	for src := 0; src < 4; src++ {
+		if dst := g.Destination(src); dst == src {
+			t.Fatalf("tornado self-addressed on 2x2 at node %d", src)
+		}
+	}
+}
+
+func TestZeroRateGeneratesNothing(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0, 9)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	total, _ := countPackets(g, mesh, 2000)
+	if total != 0 {
+		t.Fatalf("zero rate produced %d packets", total)
+	}
+}
+
+func TestSelfSimilarAtPeakPanics(t *testing.T) {
+	cfg := cfgWith(config.SelfSimilar, config.NormalRandom, 1.0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-similar at the ON-peak did not panic")
+		}
+	}()
+	New(cfg, topology.New(cfg.Width, cfg.Height))
+}
+
+func TestParetoProperties(t *testing.T) {
+	rng := newTestRand(11)
+	const mean = 40.0
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		d := pareto(rng, 1.9, mean)
+		if d < 1 {
+			t.Fatal("pareto draw below 1")
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	// alpha=1.9 has finite mean but huge variance; accept a wide band.
+	if got < mean*0.7 || got > mean*1.6 {
+		t.Fatalf("pareto mean %.1f, want ≈%.1f", got, mean)
+	}
+}
+
+// newTestRand builds the same RNG type the generator uses.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTransposePattern(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Transpose, 0.2, 12)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	for src := 0; src < mesh.Nodes(); src++ {
+		dst := g.Destination(src)
+		sx, sy := mesh.XY(src)
+		dx, dy := mesh.XY(dst)
+		if dx != sy || dy != sx {
+			t.Fatalf("transpose (%d,%d) -> (%d,%d)", sx, sy, dx, dy)
+		}
+	}
+}
+
+func TestBitComplementPattern(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.BitComplement, 0.2, 13)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	for src := 0; src < mesh.Nodes(); src++ {
+		if dst := g.Destination(src); dst != mesh.Nodes()-1-src {
+			t.Fatalf("bit complement %d -> %d", src, dst)
+		}
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Hotspot, 0.2, 14)
+	cfg.HotspotFraction = 0.5
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	hits := 0
+	const draws = 10_000
+	for i := 0; i < draws; i++ {
+		if g.Destination(0) == g.HotNode() {
+			hits++
+		}
+	}
+	// 50% directed plus the uniform component's occasional hot pick.
+	frac := float64(hits) / draws
+	if frac < 0.45 || frac > 0.60 {
+		t.Fatalf("hotspot fraction %.3f, want ≈0.5", frac)
+	}
+	// The hot node itself never self-addresses.
+	for i := 0; i < 1000; i++ {
+		if g.Destination(g.HotNode()) == g.HotNode() {
+			t.Fatal("hot node self-addressed")
+		}
+	}
+}
+
+func TestHotspotDefaultFraction(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Hotspot, 0.2, 15)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	hits := 0
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		if g.Destination(0) == g.HotNode() {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.08 || frac > 0.16 {
+		t.Fatalf("default hotspot fraction %.3f, want ≈0.1", frac)
+	}
+}
+
+func TestVariablePacketSizes(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0.2, 16)
+	cfg.PacketSize, cfg.PacketSizeMax = 2, 6
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	seen := map[int]int{}
+	for i := 0; i < 20_000; i++ {
+		s := g.PacketSize(3)
+		if s < 2 || s > 6 {
+			t.Fatalf("size %d outside [2,6]", s)
+		}
+		seen[s]++
+	}
+	for s := 2; s <= 6; s++ {
+		if seen[s] == 0 {
+			t.Fatalf("size %d never drawn", s)
+		}
+	}
+}
+
+// The offered flit rate must stay calibrated when packet sizes vary.
+func TestVariableSizeRateAccuracy(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.NormalRandom, 0.30, 17)
+	cfg.PacketSize, cfg.PacketSizeMax = 2, 6 // mean 4
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	var flits int64
+	const cycles = 20_000
+	for now := int64(1); now <= cycles; now++ {
+		g.Tick(now, func(src, dst, size int) { flits += int64(size) })
+	}
+	got := float64(flits) / (cycles * float64(mesh.Nodes()))
+	if math.Abs(got-0.30) > 0.015 {
+		t.Fatalf("variable-size offered load %.4f, want 0.30", got)
+	}
+}

@@ -1,0 +1,54 @@
+package vichar
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vichar/internal/config"
+)
+
+// ParseBufferArch parses a buffer-architecture name as used on
+// command lines and in config files. Accepted (case-insensitive):
+// "generic"/"gen", "vichar"/"vic", "damq", "fccb"/"fc-cb".
+func ParseBufferArch(s string) (BufferArch, error) { return config.ParseBufferArch(s) }
+
+// ParseRouting parses a routing-algorithm name: "xy" or
+// "adaptive"/"minadaptive".
+func ParseRouting(s string) (RoutingAlg, error) { return config.ParseRouting(s) }
+
+// ParseTraffic parses a traffic-process name: "ur"/"uniform" or
+// "ss"/"selfsimilar".
+func ParseTraffic(s string) (TrafficProcess, error) { return config.ParseTraffic(s) }
+
+// ParseDest parses a destination-pattern name: "nr"/"random",
+// "tornado"/"tn", "transpose"/"tp", "bitcomplement"/"bc" or
+// "hotspot"/"hs".
+func ParseDest(s string) (DestPattern, error) { return config.ParseDest(s) }
+
+// SaveConfig serializes a configuration as indented JSON with
+// human-readable enum names.
+func SaveConfig(w io.Writer, cfg Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg); err != nil {
+		return fmt.Errorf("vichar: save config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig parses a JSON configuration. Fields absent from the
+// input keep the defaults of DefaultConfig, so a file only needs the
+// overrides. The result is validated.
+func LoadConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("vichar: load config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("vichar: load config: %w", err)
+	}
+	return cfg, nil
+}

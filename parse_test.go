@@ -1,0 +1,146 @@
+package vichar_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vichar"
+)
+
+func TestParseBufferArch(t *testing.T) {
+	cases := map[string]vichar.BufferArch{
+		"generic": vichar.Generic,
+		"GEN":     vichar.Generic,
+		"vichar":  vichar.ViChaR,
+		"ViC":     vichar.ViChaR,
+		"damq":    vichar.DAMQ,
+		"FC-CB":   vichar.FCCB,
+		"fccb":    vichar.FCCB,
+		" vic ":   vichar.ViChaR,
+	}
+	for in, want := range cases {
+		got, err := vichar.ParseBufferArch(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBufferArch(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := vichar.ParseBufferArch("bogus"); err == nil {
+		t.Error("bogus architecture accepted")
+	}
+}
+
+func TestParseRouting(t *testing.T) {
+	if got, err := vichar.ParseRouting("XY"); err != nil || got != vichar.XY {
+		t.Errorf("XY: %v, %v", got, err)
+	}
+	if got, err := vichar.ParseRouting("adaptive"); err != nil || got != vichar.MinimalAdaptive {
+		t.Errorf("adaptive: %v, %v", got, err)
+	}
+	if _, err := vichar.ParseRouting("chaotic"); err == nil {
+		t.Error("bogus routing accepted")
+	}
+}
+
+func TestParseTraffic(t *testing.T) {
+	if got, err := vichar.ParseTraffic("ur"); err != nil || got != vichar.UniformRandom {
+		t.Errorf("ur: %v, %v", got, err)
+	}
+	if got, err := vichar.ParseTraffic("self-similar"); err != nil || got != vichar.SelfSimilar {
+		t.Errorf("ss: %v, %v", got, err)
+	}
+	if _, err := vichar.ParseTraffic("bursty"); err == nil {
+		t.Error("bogus traffic accepted")
+	}
+}
+
+func TestParseDest(t *testing.T) {
+	cases := map[string]vichar.DestPattern{
+		"nr":       vichar.NormalRandom,
+		"tornado":  vichar.Tornado,
+		"tp":       vichar.Transpose,
+		"bc":       vichar.BitComplement,
+		"hotspot":  vichar.Hotspot,
+		"HS":       vichar.Hotspot,
+		"Tornado ": vichar.Tornado,
+	}
+	for in, want := range cases {
+		got, err := vichar.ParseDest(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDest(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := vichar.ParseDest("everywhere"); err == nil {
+		t.Error("bogus pattern accepted")
+	}
+}
+
+// Round trip: parsing each enum's String form (or its conventional
+// alias) returns the value.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, a := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
+		if got, err := vichar.ParseBufferArch(a.String()); err != nil || got != a {
+			t.Errorf("arch %v round trip: %v, %v", a, got, err)
+		}
+	}
+	for _, d := range []vichar.DestPattern{vichar.NormalRandom, vichar.Tornado, vichar.Transpose, vichar.BitComplement, vichar.Hotspot} {
+		if got, err := vichar.ParseDest(d.String()); err != nil || got != d {
+			t.Errorf("dest %v round trip: %v, %v", d, got, err)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = vichar.ViChaR
+	cfg.Routing = vichar.MinimalAdaptive
+	cfg.Traffic = vichar.SelfSimilar
+	cfg.Dest = vichar.Tornado
+	cfg.InjectionRate = 0.33
+	cfg.BufferSlots = 12
+
+	var buf bytes.Buffer
+	if err := vichar.SaveConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"ViC"`, `"MinAdaptive"`, `"SS"`, `"TN"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json missing readable enum %s:\n%s", want, s)
+		}
+	}
+	got, err := vichar.LoadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", got, cfg)
+	}
+}
+
+func TestLoadConfigPartial(t *testing.T) {
+	// A file with only overrides inherits the defaults.
+	in := strings.NewReader(`{"Arch":"vichar","InjectionRate":0.4}`)
+	cfg, err := vichar.LoadConfig(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Arch != vichar.ViChaR || cfg.InjectionRate != 0.4 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.Width != 8 || cfg.VCs != 4 {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+}
+
+func TestLoadConfigRejects(t *testing.T) {
+	if _, err := vichar.LoadConfig(strings.NewReader(`{"Arch":"bogus"}`)); err == nil {
+		t.Error("bogus enum accepted")
+	}
+	if _, err := vichar.LoadConfig(strings.NewReader(`{"NotAField":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := vichar.LoadConfig(strings.NewReader(`{"InjectionRate":7}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

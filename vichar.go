@@ -1,0 +1,245 @@
+// Package vichar is a cycle-accurate Network-on-Chip simulation
+// library reproducing "ViChaR: A Dynamic Virtual Channel Regulator
+// for Network-on-Chip Routers" (Nicopoulos et al., MICRO 2006).
+//
+// It provides:
+//
+//   - a complete wormhole, credit-based, virtual-channel NoC
+//     simulator (mesh topology, 4-stage pipelined routers, XY and
+//     minimal-adaptive routing, uniform-random and self-similar
+//     traffic);
+//   - four input-buffer organizations: the conventional statically
+//     partitioned buffer (Generic), the paper's dynamic Virtual
+//     Channel Regulator (ViChaR), and the DAMQ and FC-CB unified
+//     baselines;
+//   - an area/power model calibrated to the paper's 90 nm synthesis
+//     results (Table 1) with activity-based power back-annotation;
+//   - experiment harnesses regenerating every figure and table of the
+//     paper's evaluation (see the experiments package).
+//
+// Quick start:
+//
+//	cfg := vichar.DefaultConfig()
+//	cfg.Arch = vichar.ViChaR
+//	cfg.InjectionRate = 0.30
+//	res, err := vichar.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("avg latency: %.1f cycles\n", res.AvgLatency)
+package vichar
+
+import (
+	"fmt"
+	"io"
+
+	"vichar/internal/config"
+	"vichar/internal/flit"
+	"vichar/internal/network"
+	"vichar/internal/power"
+	"vichar/internal/stats"
+	"vichar/internal/synth"
+	"vichar/internal/topology"
+	"vichar/internal/trace"
+)
+
+// Config describes one simulation; see DefaultConfig for the paper's
+// evaluation platform.
+type Config = config.Config
+
+// Results carries the metrics of one finished run.
+type Results = stats.Results
+
+// SeriesPoint is one sample of a time-series metric.
+type SeriesPoint = stats.SeriesPoint
+
+// Counters are the activity-event totals the power model consumes.
+type Counters = stats.Counters
+
+// Packet is a simulated message; returned by Simulator.Inject for
+// tests and custom workloads.
+type Packet = flit.Packet
+
+// BufferArch selects the router input-buffer organization.
+type BufferArch = config.BufferArch
+
+// Buffer architectures.
+const (
+	// Generic is the statically partitioned per-VC FIFO buffer
+	// ("GEN").
+	Generic = config.Generic
+	// ViChaR is the paper's dynamic Virtual Channel Regulator
+	// ("ViC").
+	ViChaR = config.ViChaR
+	// DAMQ is the Dynamically Allocated Multi-Queue baseline.
+	DAMQ = config.DAMQ
+	// FCCB is the Fully Connected Circular Buffer baseline.
+	FCCB = config.FCCB
+)
+
+// RoutingAlg selects the routing function.
+type RoutingAlg = config.RoutingAlg
+
+// Routing algorithms.
+const (
+	// XY is deterministic dimension-ordered routing.
+	XY = config.XY
+	// MinimalAdaptive routes adaptively with escape-VC deadlock
+	// recovery.
+	MinimalAdaptive = config.MinimalAdaptive
+)
+
+// TrafficProcess selects the temporal injection process.
+type TrafficProcess = config.TrafficProcess
+
+// Traffic processes.
+const (
+	// UniformRandom is Bernoulli injection ("UR").
+	UniformRandom = config.UniformRandom
+	// SelfSimilar is Pareto ON/OFF burst injection ("SS").
+	SelfSimilar = config.SelfSimilar
+)
+
+// DestPattern selects the spatial destination distribution.
+type DestPattern = config.DestPattern
+
+// Destination patterns.
+const (
+	// NormalRandom draws destinations uniformly ("NR").
+	NormalRandom = config.NormalRandom
+	// Tornado offsets destinations half-way along X ("TN").
+	Tornado = config.Tornado
+	// Transpose sends (x,y) -> (y,x) ("TP").
+	Transpose = config.Transpose
+	// BitComplement sends node i to node N-1-i ("BC").
+	BitComplement = config.BitComplement
+	// Hotspot redirects a fraction of packets to the mesh center
+	// ("HS"); see Config.HotspotFraction.
+	Hotspot = config.Hotspot
+)
+
+// DefaultConfig returns the paper's evaluation platform: an 8x8 mesh
+// of 5-port routers with 4 VCs x 4 flits of 128 bits per port, XY
+// routing, uniform random traffic, 500 MHz.
+func DefaultConfig() Config { return config.Default() }
+
+// Simulator drives one network simulation. Construct with
+// NewSimulator, then either call Run for the full measurement
+// protocol or Step/Inject/Drain for fine-grained control.
+type Simulator struct {
+	cfg   Config
+	net   *network.Network
+	model *power.Model
+}
+
+// NewSimulator validates cfg and builds the simulated network.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("vichar: %w", err)
+	}
+	return &Simulator{
+		cfg:   cfg,
+		net:   network.New(&cfg),
+		model: power.NewModel(&cfg),
+	}, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Run executes the full measurement protocol (inject until the
+// warm-up + measurement ejection quota is met) and returns the
+// power-annotated results.
+func (s *Simulator) Run() Results {
+	res := s.net.Run()
+	s.model.Annotate(&res)
+	return res
+}
+
+// Step advances the simulation by one cycle.
+func (s *Simulator) Step() { s.net.Step() }
+
+// Now returns the current simulation cycle.
+func (s *Simulator) Now() int64 { return s.net.Now() }
+
+// Inject creates one packet from src to dst at the current cycle,
+// bypassing the configured traffic generator.
+func (s *Simulator) Inject(src, dst int) *Packet { return s.net.InjectPacket(src, dst) }
+
+// InjectSized creates one packet with an explicit flit count.
+func (s *Simulator) InjectSized(src, dst, size int) *Packet {
+	return s.net.InjectPacketSized(src, dst, size)
+}
+
+// RecordTrace turns on packet-creation recording; retrieve the events
+// with RecordedTrace after (or during) the run.
+func (s *Simulator) RecordTrace() { s.net.RecordTrace() }
+
+// RecordedTrace returns the packet creation events captured since
+// RecordTrace was enabled.
+func (s *Simulator) RecordedTrace() []TraceEntry { return s.net.RecordedTrace() }
+
+// LoadTrace schedules a recorded workload for replay: each entry's
+// packet is injected at its cycle. Combine with InjectionRate zero
+// for a pure replay.
+func (s *Simulator) LoadTrace(entries []TraceEntry) error { return s.net.ScheduleTrace(entries) }
+
+// Drain runs until all injected packets are ejected or maxCycles
+// elapse, returning the number still in flight. Use with
+// InjectionRate zero and manual Inject calls.
+func (s *Simulator) Drain(maxCycles int64) int64 { return s.net.Drain(maxCycles) }
+
+// Run is the one-shot convenience API: validate, simulate, annotate.
+func Run(cfg Config) (Results, error) {
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.Run(), nil
+}
+
+// TraceEntry is one packet creation event of a recorded workload.
+type TraceEntry = trace.Entry
+
+// WriteTrace serializes a recorded workload (one "cycle src dst size"
+// line per packet).
+func WriteTrace(w io.Writer, entries []TraceEntry) error { return trace.Write(w, entries) }
+
+// ReadTrace parses a workload trace, returning entries sorted by
+// cycle.
+func ReadTrace(r io.Reader) ([]TraceEntry, error) { return trace.Read(r) }
+
+// SynthBreakdown is the per-component area/power synthesis estimate
+// for one router (the Table 1 substitute).
+type SynthBreakdown = synth.Breakdown
+
+// Synthesize returns the synthesis-model estimate for cfg's router.
+func Synthesize(cfg Config) SynthBreakdown { return synth.Estimate(&cfg) }
+
+// Table1Row is one line of the regenerated Table 1.
+type Table1Row = synth.Table1Row
+
+// Table1 regenerates the paper's Table 1 (per-port area/power
+// breakdown of the ViChaR and generic architectures) plus the
+// overhead/savings deltas.
+func Table1() (vichar, generic []Table1Row, areaDelta, powerDelta float64) {
+	return synth.Table1()
+}
+
+// HalfBufferSavings returns the router-level area and power savings
+// of a half-buffer ViChaR router versus the full-size generic router
+// (the paper's ~30%/~34% headline claim).
+func HalfBufferSavings() (areaSaving, powerSaving float64) { return synth.HalfBufferSavings() }
+
+// StaticPowerWatts returns the load-independent network power of a
+// configuration in watts.
+func StaticPowerWatts(cfg Config) float64 { return power.NewModel(&cfg).StaticWatts() }
+
+// NodeAt returns the node id at mesh coordinates (x, y) of cfg's
+// topology; a convenience for custom workloads.
+func NodeAt(cfg Config, x, y int) int {
+	return topology.New(cfg.Width, cfg.Height).Node(x, y)
+}
+
+// CoordsOf returns the mesh coordinates of node id.
+func CoordsOf(cfg Config, node int) (x, y int) {
+	return topology.New(cfg.Width, cfg.Height).XY(node)
+}

@@ -1,0 +1,45 @@
+package workloads_test
+
+import (
+	"fmt"
+	"log"
+
+	"vichar"
+	"vichar/workloads"
+)
+
+// Synthesize a VOPD workload trace and replay it through the
+// simulator.
+func ExampleTaskGraph_Trace() {
+	g := workloads.VOPD()
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = vichar.ViChaR
+	cfg.InjectionRate = 0 // the trace drives injection
+	cfg.WarmupPackets = 100
+	cfg.MeasurePackets = 400
+
+	entries, err := g.Trace(cfg, nil, 10_000, g.FeasibleRate(0.2), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.LoadTrace(entries); err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run()
+	fmt.Println(g.Name, res.MeasuredPackets, res.Saturated)
+	// Output: vopd 400 false
+}
+
+// The built-in graphs and their shapes.
+func ExampleGraphs() {
+	for _, g := range workloads.Graphs() {
+		fmt.Printf("%s: %d cores, %d streams\n", g.Name, len(g.Tasks), len(g.Edges))
+	}
+	// Output:
+	// vopd: 12 cores, 14 streams
+	// mpeg4: 9 cores, 12 streams
+}

@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"vichar"
+)
+
+func TestBuiltinGraphsValid(t *testing.T) {
+	for _, g := range Graphs() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if g.TotalBandwidth() <= 0 {
+			t.Errorf("%s: no bandwidth", g.Name)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenGraphs(t *testing.T) {
+	cases := []TaskGraph{
+		{Name: "empty"},
+		{Name: "dup", Tasks: []string{"a", "a"}, Edges: []Edge{{"a", "a", 1}}},
+		{Name: "unknown", Tasks: []string{"a", "b"}, Edges: []Edge{{"a", "c", 1}}},
+		{Name: "selfloop", Tasks: []string{"a", "b"}, Edges: []Edge{{"a", "a", 1}}},
+		{Name: "zero-bw", Tasks: []string{"a", "b"}, Edges: []Edge{{"a", "b", 0}}},
+	}
+	for _, g := range cases {
+		if g.Validate() == nil {
+			t.Errorf("%s accepted", g.Name)
+		}
+	}
+}
+
+func TestDefaultMapping(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	m, err := VOPD().DefaultMapping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 12 || m["vld"] != 0 {
+		t.Fatalf("mapping wrong: %v", m)
+	}
+	small := cfg
+	small.Width, small.Height = 2, 2
+	if _, err := VOPD().DefaultMapping(small); err == nil {
+		t.Fatal("12 tasks fit a 2x2 mesh?")
+	}
+}
+
+func TestTraceRates(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	g := VOPD()
+	const cycles = 40_000
+	const rate = 4.0 // flits/cycle network-wide
+	entries, err := g.Trace(cfg, nil, cycles, rate, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRate := float64(len(entries)*cfg.PacketSize) / cycles
+	if math.Abs(gotRate-rate) > 0.15 {
+		t.Fatalf("trace offers %.3f flits/cycle, want %.1f", gotRate, rate)
+	}
+	// Per-edge shares track bandwidth ratios: the hottest stream
+	// (vop_mem->pad, 500) must carry more packets than the coldest
+	// (arm->idct, 16).
+	byPair := map[[2]int]int{}
+	mapping, _ := g.DefaultMapping(cfg)
+	for _, e := range entries {
+		byPair[[2]int{e.Src, e.Dst}]++
+		if e.Cycle < 1 || e.Cycle > cycles {
+			t.Fatalf("entry outside the window: %+v", e)
+		}
+	}
+	hot := byPair[[2]int{mapping["vop_mem"], mapping["pad"]}]
+	cold := byPair[[2]int{mapping["arm"], mapping["idct"]}]
+	if hot <= cold*5 {
+		t.Fatalf("bandwidth ratios lost: hot=%d cold=%d", hot, cold)
+	}
+	// Sorted by cycle.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Cycle < entries[i-1].Cycle {
+			t.Fatal("entries unsorted")
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	a, err := MPEG4().Trace(cfg, nil, 5_000, 2.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MPEG4().Trace(cfg, nil, 5_000, 2.0, 3)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestTraceRejects(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	if _, err := VOPD().Trace(cfg, nil, 0, 1, 1); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := VOPD().Trace(cfg, nil, 100, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	// A rate driving one edge past 1 packet/cycle is unrealizable.
+	if _, err := VOPD().Trace(cfg, nil, 100, 50, 1); err == nil {
+		t.Error("unrealizable rate accepted")
+	}
+	// Mapping validation.
+	bad := map[string]int{"vld": 999}
+	if _, err := VOPD().Trace(cfg, bad, 100, 1, 1); err == nil {
+		t.Error("incomplete/out-of-range mapping accepted")
+	}
+}
+
+// End to end: a VOPD trace replays through the simulator on both
+// architectures and every packet is delivered.
+func TestTraceDrivesSimulator(t *testing.T) {
+	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR} {
+		cfg := vichar.DefaultConfig()
+		cfg.Arch = arch
+		cfg.Width, cfg.Height = 4, 3 // exactly the 12 VOPD cores
+		cfg.InjectionRate = 0
+		cfg.WarmupPackets = 100
+		cfg.MeasurePackets = 500
+
+		entries, err := VOPD().Trace(cfg, nil, 10_000, 2.0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := vichar.NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.LoadTrace(entries); err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Run()
+		if res.MeasuredPackets != 500 || res.AvgLatency <= 0 {
+			t.Fatalf("%v: VOPD replay failed: %+v", arch, res)
+		}
+	}
+}
+
+func TestFeasibleRate(t *testing.T) {
+	g := VOPD()
+	r := g.FeasibleRate(0.10)
+	if r <= 0 {
+		t.Fatal("no feasible rate")
+	}
+	// At the feasible rate, no edge exceeds its source/sink port.
+	total := g.TotalBandwidth()
+	in := map[string]float64{}
+	out := map[string]float64{}
+	for _, e := range g.Edges {
+		out[e.Src] += e.Bandwidth
+		in[e.Dst] += e.Bandwidth
+	}
+	for _, task := range g.Tasks {
+		if load := r * in[task] / total; load > 0.901 {
+			t.Fatalf("task %s ejection load %.3f above the headroom bound", task, load)
+		}
+		if load := r * out[task] / total; load > 0.901 {
+			t.Fatalf("task %s injection load %.3f above the headroom bound", task, load)
+		}
+	}
+	if (TaskGraph{Name: "x"}).FeasibleRate(0.1) != 0 {
+		t.Error("empty graph has a rate")
+	}
+}
