@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test shape bench experiments paper synth examples clean
+.PHONY: all build vet lint test race shape bench experiments paper synth examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific determinism & invariant rules (cmd/vichar-lint):
+# no map ranges or ambient entropy in the simulator core, no dropped
+# errors, panics only in constructors or at annotated invariants.
+lint:
+	$(GO) run ./cmd/vichar-lint ./...
+
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # Just the statistical assertions of the paper's claims.
 shape:

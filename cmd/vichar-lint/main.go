@@ -1,0 +1,55 @@
+// Command vichar-lint enforces the simulator's determinism and
+// invariant contract (DESIGN.md, "Determinism & invariants") over the
+// given package patterns:
+//
+//	go run ./cmd/vichar-lint ./...
+//
+// Rules: map-range (no map iteration in the deterministic
+// simulator-core packages), ambient-entropy (no global math/rand, no
+// time.Now — randomness flows from Config.Seed), checked-errors (no
+// silently dropped error returns from simulator-internal calls) and
+// panic-discipline (panics only in constructors or annotated
+// invariant violations). Sites proven safe are annotated in source:
+//
+//	//vichar:ordered <reason>      waives map-range
+//	//vichar:invariant <reason>    waives panic-discipline
+//	//vichar:nolint <rule> <reason> waives any rule
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vichar/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vichar-lint [packages]\n\n"+
+			"Package patterns are directories relative to the current module,\n"+
+			"optionally ending in /... (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vichar-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vichar-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vichar-lint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

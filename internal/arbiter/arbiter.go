@@ -45,6 +45,7 @@ func (a *RoundRobin) Reset() { a.next = 0 }
 // pointer, then advances the pointer past the winner.
 func (a *RoundRobin) Arbitrate(requests []bool) int {
 	if len(requests) != a.n {
+		//vichar:invariant a request vector sized differently from the arbiter means the caller wired the wrong port set
 		panic(fmt.Sprintf("arbiter: got %d requests for a %d-input arbiter", len(requests), a.n))
 	}
 	for i := 0; i < a.n; i++ {
@@ -96,6 +97,7 @@ func (m *Matrix) Reset() {
 // current requesters, then demotes it below everyone.
 func (m *Matrix) Arbitrate(requests []bool) int {
 	if len(requests) != m.n {
+		//vichar:invariant a request vector sized differently from the arbiter means the caller wired the wrong port set
 		panic(fmt.Sprintf("arbiter: got %d requests for a %d-input arbiter", len(requests), m.n))
 	}
 	winner := -1

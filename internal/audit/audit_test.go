@@ -1,0 +1,96 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"vichar/internal/audit"
+	"vichar/internal/core"
+	"vichar/internal/flit"
+)
+
+// fill writes packet p's flits into b on the given VC starting at
+// cycle now, failing the test on any buffer error.
+func fill(t *testing.T, b *core.UBS, p *flit.Packet, vc int, now int64) []*flit.Flit {
+	t.Helper()
+	fs := flit.MakeFlits(p)
+	for _, f := range fs {
+		f.VC = vc
+		if err := b.Write(f, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// TestCheckUBSClean exercises a legal write/read/drain sequence: the
+// auditor must stay silent at every intermediate state.
+func TestCheckUBSClean(t *testing.T) {
+	b := core.NewUBS(8)
+	if err := audit.CheckUBS(b); err != nil {
+		t.Fatalf("empty UBS: %v", err)
+	}
+	p := &flit.Packet{ID: 1, Size: 3}
+	fill(t, b, p, 2, 10)
+	q := &flit.Packet{ID: 2, Size: 2}
+	fill(t, b, q, 5, 10)
+	if err := audit.CheckUBS(b); err != nil {
+		t.Fatalf("after writes: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Pop(2, 11+int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := audit.CheckUBS(b); err != nil {
+			t.Fatalf("after pop %d: %v", i, err)
+		}
+	}
+	if got := b.Occupied(); got != 2 {
+		t.Fatalf("occupied = %d, want 2", got)
+	}
+}
+
+// TestCheckUBSOnePacketPerVC plants a second packet's flit in an
+// occupied VC row — legal at the buffer layer, which does not know
+// about packets — and demands the auditor flag it.
+func TestCheckUBSOnePacketPerVC(t *testing.T) {
+	b := core.NewUBS(8)
+	fill(t, b, &flit.Packet{ID: 1, Size: 2}, 3, 10)
+	fill(t, b, &flit.Packet{ID: 2, Size: 1}, 3, 10)
+	err := audit.CheckUBS(b)
+	if err == nil || !strings.Contains(err.Error(), "one-packet-per-VC") {
+		t.Fatalf("want one-packet-per-VC violation, got %v", err)
+	}
+}
+
+// TestCheckUBSSequenceOrder writes one packet's flits out of order:
+// the row's sequence numbers are no longer consecutive.
+func TestCheckUBSSequenceOrder(t *testing.T) {
+	b := core.NewUBS(8)
+	p := &flit.Packet{ID: 7, Size: 3}
+	fs := flit.MakeFlits(p)
+	for _, i := range []int{1, 0, 2} {
+		fs[i].VC = 0
+		if err := b.Write(fs[i], 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := audit.CheckUBS(b)
+	if err == nil || !strings.Contains(err.Error(), "order broken") {
+		t.Fatalf("want flit-order violation, got %v", err)
+	}
+}
+
+// TestCheckLink pins the conservation equation on both sides.
+func TestCheckLink(t *testing.T) {
+	ok := audit.LinkState{Name: "0->1", Outstanding: 5, InFlightFlits: 2, DownstreamOccupied: 2, InFlightCredits: 1}
+	if err := audit.CheckLink(ok); err != nil {
+		t.Fatalf("balanced link: %v", err)
+	}
+	bad := ok
+	bad.InFlightCredits = 0
+	err := audit.CheckLink(bad)
+	if err == nil || !strings.Contains(err.Error(), "credit conservation") {
+		t.Fatalf("want conservation violation, got %v", err)
+	}
+}

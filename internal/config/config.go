@@ -215,6 +215,14 @@ type Config struct {
 	// produce identical results.
 	Seed int64
 
+	// Audit enables the per-cycle invariant auditor (internal/audit):
+	// after every simulation step the network verifies credit
+	// conservation on every link and, for ViChaR, cross-checks each
+	// port's VC Control Table against its Slot Availability Tracker.
+	// Any violation panics. Costs roughly a full pass over all router
+	// state per cycle; meant for tests and debugging, not sweeps.
+	Audit bool
+
 	// AtomicVCAlloc, when true, lets a Generic VC be re-allocated
 	// only once it has fully drained (atomic buffer allocation). When
 	// false, packets may queue back-to-back within a VC FIFO, which

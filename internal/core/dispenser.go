@@ -102,6 +102,7 @@ func (d *Dispenser) IsEscape(vc int) bool {
 // the downstream buffer).
 func (d *Dispenser) Return(vc int) {
 	if vc < 0 || vc >= d.Tokens() {
+		//vichar:invariant returning a token the dispenser never issued means VC id corruption upstream
 		panic(fmt.Sprintf("core: return of token %d outside dispenser of %d", vc, d.Tokens()))
 	}
 	if vc >= d.escBase && d.escape != nil {

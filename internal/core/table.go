@@ -43,6 +43,7 @@ func (t *Table) Len(vc int) int {
 // Append records that the newest flit of VC vc was steered into slot.
 func (t *Table) Append(vc, slot int) {
 	if vc < 0 || vc >= len(t.rows) {
+		//vichar:invariant the UBS validates VC ids before steering a flit; an out-of-range row is bookkeeping corruption
 		panic(fmt.Sprintf("core: control table append to row %d of %d", vc, len(t.rows)))
 	}
 	if len(t.rows[vc]) == 0 {
@@ -65,6 +66,7 @@ func (t *Table) Head(vc int) int {
 // must not dequeue from an empty VC.
 func (t *Table) PopHead(vc int) int {
 	if vc < 0 || vc >= len(t.rows) || len(t.rows[vc]) == 0 {
+		//vichar:invariant the router must not dequeue from an empty VC; Front gates every Pop
 		panic(fmt.Sprintf("core: control table pop from empty row %d", vc))
 	}
 	row := t.rows[vc]

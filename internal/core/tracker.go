@@ -57,7 +57,7 @@ func (t *Tracker) Acquire() int {
 			return idx
 		}
 	}
-	// Unreachable while free>0; keep the invariant loud if it breaks.
+	//vichar:invariant unreachable while free>0 — the free counter diverged from the availability bitmap
 	panic("core: tracker free count out of sync with bitmap")
 }
 
@@ -65,9 +65,11 @@ func (t *Tracker) Acquire() int {
 // bookkeeping bug and panics.
 func (t *Tracker) Release(i int) {
 	if i < 0 || i >= len(t.avail) {
+		//vichar:invariant releasing an entry outside the tracker means a corrupted slot id
 		panic(fmt.Sprintf("core: release of entry %d outside tracker of %d", i, len(t.avail)))
 	}
 	if t.avail[i] {
+		//vichar:invariant double release — the slot-conservation bug the audit exists to catch
 		panic(fmt.Sprintf("core: double release of entry %d", i))
 	}
 	t.avail[i] = true

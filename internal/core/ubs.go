@@ -90,6 +90,7 @@ func (b *UBS) Front(vc int, now int64) *flit.Flit {
 	}
 	f := b.slots[slot]
 	if f == nil {
+		//vichar:invariant the VC Control Table must only name occupied slots; an empty one is table/tracker divergence
 		panic(fmt.Sprintf("core: control table names empty slot %d for vc %d", slot, vc))
 	}
 	if f.ArrivedAt >= now {
@@ -122,5 +123,19 @@ func (b *UBS) InUseVCs() int { return b.table.ActiveRows() }
 
 // SlotsOf exposes the VC's slot list for tests and diagnostics.
 func (b *UBS) SlotsOf(vc int) []int { return b.table.Slots(vc) }
+
+// SlotFree reports whether the Slot Availability Tracker marks slot i
+// free; out-of-range IDs report false. Used by the invariant auditor
+// to cross-check the tracker bitmap against the VC Control Table.
+func (b *UBS) SlotFree(i int) bool { return b.tracker.Available(i) }
+
+// FlitAt returns the flit stored in slot i, or nil when the slot is
+// empty or out of range. Used by the invariant auditor.
+func (b *UBS) FlitAt(i int) *flit.Flit {
+	if i < 0 || i >= len(b.slots) {
+		return nil
+	}
+	return b.slots[i]
+}
 
 var _ buffers.Buffer = (*UBS)(nil)

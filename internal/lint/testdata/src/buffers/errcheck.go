@@ -1,0 +1,54 @@
+// Package buffers is a lint fixture for the checked-errors rule:
+// error returns from module-internal calls (the real buffers.Buffer
+// write/pop paths) must be handled in the deterministic packages.
+package buffers
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFull mirrors the real package's flow-control error.
+var ErrFull = errors.New("buffers: full")
+
+// Slot is a one-entry buffer standing in for the real interface.
+type Slot struct{ v int }
+
+// Write fails when the slot is taken.
+func (s *Slot) Write(v int) error {
+	if s.v != 0 {
+		return ErrFull
+	}
+	s.v = v
+	return nil
+}
+
+// drop discards the error result outright: flagged.
+func drop(s *Slot) {
+	s.Write(1) //!lint checked-errors
+}
+
+// acknowledge discards explicitly via blank assignment: fine — the
+// discard is visible at the call site.
+func acknowledge(s *Slot) {
+	_ = s.Write(2)
+}
+
+// handled propagates the error: fine.
+func handled(s *Slot) error {
+	if err := s.Write(3); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferred drops an error from a deferred internal call: flagged.
+func deferred(s *Slot) {
+	defer s.Write(4) //!lint checked-errors
+}
+
+// stdlib calls returning errors are outside the module: not flagged
+// (go vet and errcheck-style tools own that ground).
+func prints() {
+	fmt.Println("fixture")
+}

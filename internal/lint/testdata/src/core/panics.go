@@ -1,0 +1,36 @@
+// Package core is a lint fixture for panic-discipline: panics are
+// legal in constructors and at annotated invariant violations only.
+package core
+
+import "fmt"
+
+// Pool is a toy slot pool.
+type Pool struct{ free int }
+
+// NewPool may panic on invalid construction parameters: fine.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("core: pool needs at least one slot, got %d", n))
+	}
+	return &Pool{free: n}
+}
+
+// Take panics on an ordinary empty condition with no annotation:
+// flagged — this should return an error instead.
+func (p *Pool) Take() int {
+	if p.free == 0 {
+		panic("core: pool empty") //!lint panic-discipline
+	}
+	p.free--
+	return p.free
+}
+
+// Put panics on a genuine bookkeeping invariant and says so: the
+// annotation waives the rule.
+func (p *Pool) Put(cap int) {
+	p.free++
+	if p.free > cap {
+		//vichar:invariant free count exceeding capacity means double-release, unrecoverable bookkeeping corruption
+		panic("core: pool overflow")
+	}
+}

@@ -1,0 +1,37 @@
+// Package entropy is a lint fixture for the ambient-entropy rule,
+// which applies to every package: all randomness must flow through a
+// seeded *rand.Rand, and the wall clock never enters the simulator.
+package entropy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded builds and uses a deterministic stream: the approved path.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // method on *rand.Rand: fine
+}
+
+// ambient draws from the process-global stream: flagged.
+func ambient() int {
+	return rand.Intn(10) //!lint ambient-entropy
+}
+
+// wallClock reads the host clock: flagged.
+func wallClock() int64 {
+	return time.Now().UnixNano() //!lint ambient-entropy
+}
+
+// duration manipulates time values without reading the clock: fine.
+func duration(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// measured uses Since, which reads the clock implicitly, but the
+// call is justified: the annotation waives the rule.
+func measured(start time.Time) time.Duration {
+	//vichar:nolint ambient-entropy wall-clock here feeds a human progress display, not the simulation
+	return time.Since(start)
+}

@@ -1,0 +1,24 @@
+// Test-file fixture for the syntactic ambient-entropy scan: _test.go
+// files are not type-checked, but global rand and clock reads are
+// still banned under internal/.
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSeededOK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if rng.Float64() < 0 { // seeded stream: fine
+		t.Fatal("impossible")
+	}
+}
+
+func TestAmbientFlagged(t *testing.T) {
+	_ = rand.Float64()  //!lint ambient-entropy
+	_ = time.Now()      //!lint ambient-entropy
+	_ = time.Unix(0, 0) // pure conversion: fine
+	t.Log("fixture only; never executed")
+}

@@ -1,0 +1,54 @@
+// Package router is a lint fixture: its name places it in the
+// deterministic set, so the map-range rule applies. Lines expecting a
+// diagnostic carry an end-of-line marker checked by the engine's tests.
+package router
+
+// sumMap ranges over a map with no annotation: flagged.
+func sumMap(m map[int]int) int {
+	n := 0
+	for _, v := range m { //!lint map-range
+		n += v
+	}
+	return n
+}
+
+// sumSlice ranges over a slice: order is positional, never flagged.
+func sumSlice(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+// countMap ranges over a map but only accumulates a commutative
+// count, and says so: the annotation waives the rule.
+func countMap(m map[string]bool) int {
+	n := 0
+	//vichar:ordered result is a commutative count, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// bareAnnotation carries the marker without a justification, which
+// does not suppress: annotations must say why the site is safe.
+func bareAnnotation(m map[int]int) int {
+	n := 0
+	//vichar:ordered
+	for k := range m { //!lint map-range
+		n += k
+	}
+	return n
+}
+
+// keyIndexing reads a map by key inside a slice range: only range
+// statements over maps are flagged, not map access.
+func keyIndexing(keys []int, m map[int]int) int {
+	n := 0
+	for _, k := range keys {
+		n += m[k]
+	}
+	return n
+}

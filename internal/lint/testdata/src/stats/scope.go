@@ -1,0 +1,21 @@
+// Package stats is a lint fixture for rule scoping: it is NOT in the
+// deterministic package set, so map iteration and unchecked panics
+// are allowed here (aggregation code runs off the tick path).
+package stats
+
+// tally may range a map freely outside the deterministic core.
+func tally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mustPositive panics outside the deterministic set: not flagged.
+func mustPositive(x int) int {
+	if x <= 0 {
+		panic("stats: non-positive input")
+	}
+	return x
+}

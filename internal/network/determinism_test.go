@@ -1,0 +1,52 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"vichar/internal/config"
+	"vichar/internal/stats"
+)
+
+// TestDeterministicCountersAndLatencies is the determinism contract's
+// strongest regression test: two runs with the same seed must agree
+// not just on the summary averages (TestDeterministicReplay) but on
+// the complete activity counters and on every individual packet
+// latency in ejection order. Any map-iteration or ambient-entropy
+// dependence anywhere in the pipeline — the bug class vichar-lint
+// exists to keep out — shows up here as a flipped arbitration
+// somewhere in hundreds of thousands of decisions.
+func TestDeterministicCountersAndLatencies(t *testing.T) {
+	for _, arch := range allArchs {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			cfg := config.Default()
+			cfg.Width, cfg.Height = 4, 4
+			cfg.Arch = arch
+			cfg.InjectionRate = 0.3
+			cfg.WarmupPackets = 50
+			cfg.MeasurePackets = 300
+			cfg.Seed = 4242
+
+			run := func() (stats.Counters, []int64) {
+				c := cfg
+				n := New(&c)
+				res := n.Run()
+				return res.Counters, n.Collector().Latencies()
+			}
+			c1, l1 := run()
+			c2, l2 := run()
+			if !reflect.DeepEqual(c1, c2) {
+				t.Fatalf("same-seed runs diverged in counters:\n%+v\n%+v", c1, c2)
+			}
+			if len(l1) != len(l2) {
+				t.Fatalf("same-seed runs measured %d vs %d packets", len(l1), len(l2))
+			}
+			for i := range l1 {
+				if l1[i] != l2[i] {
+					t.Fatalf("same-seed runs diverged at packet %d: latency %d vs %d", i, l1[i], l2[i])
+				}
+			}
+		})
+	}
+}

@@ -1,10 +1,15 @@
 package network
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"vichar/internal/audit"
+	"vichar/internal/buffers"
 	"vichar/internal/config"
+	"vichar/internal/core"
+	"vichar/internal/flit"
 )
 
 // Config-space fuzz: random combinations of architecture, topology,
@@ -84,4 +89,102 @@ func TestConfigFuzz(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzUBSAudit drives a random but protocol-legal write/read/drain
+// sequence against a Unified Buffer Structure and cross-checks the
+// invariant auditor after every operation: table/tracker coherence,
+// slot-leak freedom, one-packet-per-VC and per-VC FIFO order must
+// hold at every intermediate state, and the buffer's occupancy must
+// match the driver's own flit accounting.
+//
+// Input encoding: byte 0 sizes the pool (1..16 slots); each further
+// byte is one operation — the top two bits select write / pop /
+// advance-clock / drain-readable, the low bits pick the VC and, for
+// writes that open a packet, its size.
+func FuzzUBSAudit(f *testing.F) {
+	f.Add([]byte{0x07, 0x00, 0x04, 0x81, 0x00, 0x41, 0xc0, 0x82})
+	f.Add([]byte{0x0f, 0x00, 0x00, 0x00, 0x80, 0x40, 0x40, 0x40, 0xc1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		slots := 1 + int(ops[0])%16
+		b := core.NewUBS(slots)
+		vcs := b.MaxVCs()
+		// Per-VC driver state: the packet currently streaming through
+		// the VC, their write and read progress.
+		type vcDriver struct {
+			flits  []*flit.Flit
+			next   int // flits written so far
+			popped int // flits popped so far (== next seq expected out)
+		}
+		st := make([]vcDriver, vcs)
+		resident := 0
+		now := int64(1)
+		var nextID uint64
+
+		pop := func(vc int) {
+			fr := b.Front(vc, now)
+			if fr == nil {
+				return
+			}
+			got, err := b.Pop(vc, now)
+			if err != nil {
+				t.Fatalf("pop vc %d with readable front: %v", vc, err)
+			}
+			s := &st[vc]
+			if got.Seq != s.popped {
+				t.Fatalf("vc %d popped seq %d, want %d", vc, got.Seq, s.popped)
+			}
+			s.popped++
+			resident--
+		}
+
+		for _, op := range ops[1:] {
+			vc := int(op&0x3f) % vcs
+			switch op >> 6 {
+			case 0: // write the VC's next flit, opening a packet if needed
+				s := &st[vc]
+				if s.next == len(s.flits) {
+					if b.Len(vc) != 0 {
+						// The finished packet still has flits resident:
+						// starting another would break one-packet-per-VC.
+						continue
+					}
+					nextID++
+					p := &flit.Packet{ID: nextID, Size: 1 + int(op>>2)%4}
+					s.flits = flit.MakeFlits(p)
+					s.next, s.popped = 0, 0
+				}
+				fl := s.flits[s.next]
+				fl.VC = vc
+				if err := b.Write(fl, now); err != nil {
+					if !errors.Is(err, buffers.ErrFull) {
+						t.Fatalf("write vc %d: %v", vc, err)
+					}
+					// Pool exhausted: a legal stall; retry later.
+					continue
+				}
+				s.next++
+				resident++
+			case 1:
+				pop(vc)
+			case 2:
+				now++
+			case 3: // drain everything readable this cycle
+				for v := 0; v < vcs; v++ {
+					for b.Front(v, now) != nil {
+						pop(v)
+					}
+				}
+			}
+			if err := audit.CheckUBS(b); err != nil {
+				t.Fatalf("after op %#02x: %v", op, err)
+			}
+			if b.Occupied() != resident {
+				t.Fatalf("occupancy %d, driver accounts %d", b.Occupied(), resident)
+			}
+		}
+	})
 }

@@ -15,6 +15,8 @@ package network
 import (
 	"fmt"
 
+	"vichar/internal/audit"
+	"vichar/internal/buffers"
 	"vichar/internal/config"
 	"vichar/internal/flit"
 	"vichar/internal/router"
@@ -89,6 +91,25 @@ func (l *creditLink) tick(now int64) {
 	}
 }
 
+// inflight returns the number of undelivered flits on the link.
+func (l *flitLink) inflight() int { return len(l.q) - l.head }
+
+// inflight returns the number of undelivered credits on the link.
+func (l *creditLink) inflight() int { return len(l.q) - l.head }
+
+// auditedLink ties together the four parties of one directed link's
+// credit-conservation equation: the upstream credit view, the forward
+// flit channel, the downstream input buffer and the reverse credit
+// channel. Collected at wiring time, checked every step when
+// Config.Audit is set.
+type auditedLink struct {
+	name string
+	view router.CreditView
+	fl   *flitLink
+	cl   *creditLink
+	buf  buffers.Buffer
+}
+
 // ni is one network interface: the packet source queue feeding the
 // router's local input port. It mirrors the local input port's buffer
 // state through a credit view, allocates a VC per packet and injects
@@ -149,6 +170,10 @@ type Network struct {
 
 	flitLinks   []*flitLink
 	creditLinks []*creditLink
+
+	// auditedLinks holds every credit-carrying link's conservation
+	// parties; checked per step when cfg.Audit is set.
+	auditedLinks []auditedLink
 
 	gen       *traffic.Generator
 	collector *stats.Collector
@@ -236,8 +261,13 @@ func New(cfg *config.Config) *Network {
 			cl.deliver = func(c flit.Credit) { src.ReceiveCredit(outPort, c) }
 			n.creditLinks = append(n.creditLinks, cl)
 
-			r.ConnectOutput(port, fl, router.NewCreditView(cfg))
+			view := router.NewCreditView(cfg)
+			r.ConnectOutput(port, fl, view)
 			dst.ConnectInputCredit(inPort, cl)
+			n.auditedLinks = append(n.auditedLinks, auditedLink{
+				name: fmt.Sprintf("%d->%d", id, nb),
+				view: view, fl: fl, cl: cl, buf: dst.InputBuffer(inPort),
+			})
 		}
 	}
 
@@ -262,6 +292,10 @@ func New(cfg *config.Config) *Network {
 		cl.deliver = func(c flit.Credit) { view.OnCredit(c) }
 		n.creditLinks = append(n.creditLinks, cl)
 		r.ConnectInputCredit(topology.Local, cl)
+		n.auditedLinks = append(n.auditedLinks, auditedLink{
+			name: fmt.Sprintf("ni%d->%d", id, id),
+			view: view, fl: inj, cl: cl, buf: r.InputBuffer(topology.Local),
+		})
 
 		n.nis[id] = s
 	}
@@ -344,10 +378,12 @@ func (n *Network) TracePending() int { return len(n.schedule) - n.scheduleIdx }
 // arrive exactly once, in sequence order, at the right node.
 func (n *Network) eject(f *flit.Flit, now int64) {
 	if f.Pkt.Dst != dstOf(f) {
+		//vichar:invariant the routing function must deliver every flit to its packet destination
 		panic(fmt.Sprintf("network: flit %s ejected at wrong node", f))
 	}
 	want := n.expectSeq[f.Pkt.ID]
 	if f.Seq != want {
+		//vichar:invariant wormhole switching on a fixed VC cannot reorder flits of one packet
 		panic(fmt.Sprintf("network: flit %s ejected out of order (want seq %d)", f, want))
 	}
 	if !f.IsTail() {
@@ -355,6 +391,7 @@ func (n *Network) eject(f *flit.Flit, now int64) {
 		return
 	}
 	if f.Seq != f.Pkt.Size-1 {
+		//vichar:invariant a tail at the wrong sequence number means flits were lost or duplicated in flight
 		panic(fmt.Sprintf("network: tail %s at seq %d of %d", f, f.Seq, f.Pkt.Size))
 	}
 	delete(n.expectSeq, f.Pkt.ID)
@@ -415,8 +452,38 @@ func (n *Network) Step() {
 	for _, r := range n.routers {
 		r.Tick(now)
 	}
+	if n.cfg.Audit {
+		n.audit(now)
+	}
 	if now%n.cfg.SampleEvery == 0 {
 		n.sample(now)
+	}
+}
+
+// audit runs the per-cycle invariant auditor (internal/audit) over
+// every credit-carrying link and every unified buffer. All router and
+// link mutation for the cycle has completed, so the conservation
+// equations must balance exactly; any violation is a simulator bug
+// and panics.
+func (n *Network) audit(now int64) {
+	for _, al := range n.auditedLinks {
+		err := audit.CheckLink(audit.LinkState{
+			Name:               al.name,
+			Outstanding:        al.view.OutstandingFlits(),
+			InFlightFlits:      al.fl.inflight(),
+			DownstreamOccupied: al.buf.Occupied(),
+			InFlightCredits:    al.cl.inflight(),
+		})
+		if err != nil {
+			//vichar:invariant a conservation imbalance means flow-control state corrupted mid-run; continuing would corrupt results
+			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
+		}
+	}
+	for _, r := range n.routers {
+		if err := r.AuditInvariants(); err != nil {
+			//vichar:invariant a UBS bookkeeping divergence means buffered flits can be lost or duplicated; continuing would corrupt results
+			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
+		}
 	}
 }
 

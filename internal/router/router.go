@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"vichar/internal/arbiter"
+	"vichar/internal/audit"
 	"vichar/internal/buffers"
 	"vichar/internal/config"
 	"vichar/internal/core"
@@ -111,6 +112,10 @@ type Router struct {
 	saNominee []int // per input port: winning VC or -1
 	vaReq     []bool
 	saReq     []bool
+	vaPicks   []vaPick // generic VA stage 1, by flat input-VC id
+	vaFlats   []int    // flat ids picked this cycle, ascending
+	vaKeys    []int    // contested output VCs (op*maxVCs+ovc)
+	vaGroups  [][]int  // per output VC: requesting flat ids
 }
 
 // routeFor returns the routing function implementation for the
@@ -182,6 +187,12 @@ func New(id int, cfg *config.Config, mesh topology.Mesh) *Router {
 	}
 	r.vaReq = make([]bool, p*r.maxVCs)
 	r.saReq = make([]bool, p)
+	if cfg.Arch != config.ViChaR {
+		r.vaPicks = make([]vaPick, p*r.maxVCs)
+		r.vaFlats = make([]int, 0, p*r.maxVCs)
+		r.vaKeys = make([]int, 0, p*r.maxVCs)
+		r.vaGroups = make([][]int, p*r.maxVCs)
+	}
 	return r
 }
 
@@ -211,6 +222,7 @@ func (r *Router) OutputView(p int) CreditView { return r.out[p].view }
 // flow-control bug and panics.
 func (r *Router) ReceiveFlit(p int, f *flit.Flit, now int64) {
 	if err := r.in[p].buf.Write(f, now); err != nil {
+		//vichar:invariant upstream credit view guarantees space; a full buffer is a flow-control conservation bug
 		panic(fmt.Sprintf("router %d port %d: %v", r.id, p, err))
 	}
 	r.Counters.BufferWrites++
@@ -256,6 +268,7 @@ func (r *Router) tickRC(now int64) {
 				continue
 			}
 			if !f.IsHead() {
+				//vichar:invariant an idle VC must start with a head flit; a body here means VC state-machine corruption
 				panic(fmt.Sprintf("router %d: %s at head of idle vc %d", r.id, f, v))
 			}
 			st.pkt = f.Pkt
@@ -386,17 +399,32 @@ func (r *Router) tickVAViChaR(now int64) {
 	}
 }
 
+// vaPick is one stage-1 VA nomination: the (output port, output VC)
+// pair a waiting input VC reduced its requests to.
+type vaPick struct {
+	op, ovc int
+	escape  bool
+	valid   bool
+}
+
 // tickVAGeneric implements paper Figure 7(a): each waiting input VC
 // reduces its requests to a single (output port, output VC) pair in
 // stage 1; a Pv:1 arbiter per output VC resolves conflicts in
 // stage 2. DAMQ and FC-CB share this structure (their VC count is
 // fixed like the generic router's).
+//
+// All bookkeeping is index-ordered (flat input-VC ids ascending, then
+// contested output VCs in first-nomination order): hardware evaluates
+// these arbiters in parallel, and the software model must not let an
+// iteration order — in particular Go's randomized map order — leak
+// into arbiter priority evolution. vichar-lint's map-range rule
+// enforces this structurally.
 func (r *Router) tickVAGeneric(now int64) {
-	type pick struct {
-		op, ovc int
-		escape  bool
+	picks := r.vaPicks
+	for i := range picks {
+		picks[i] = vaPick{}
 	}
-	picks := make(map[int]pick, 8) // flat in-VC index -> stage-1 pick
+	flats := r.vaFlats[:0]
 	for ip, in := range r.in {
 		for v := range in.vc {
 			st := &in.vc[v]
@@ -410,46 +438,59 @@ func (r *Router) tickVAGeneric(now int64) {
 			}
 			alloc, ok := r.out[op].view.(perVCAllocator)
 			if !ok {
+				//vichar:invariant non-ViChaR configurations always wire per-VC credit views; a mismatch is a construction bug
 				panic(fmt.Sprintf("router %d: %T cannot allocate per-VC", r.id, r.out[op].view))
 			}
 			ovc := alloc.GrantableVC(escape, v)
 			if ovc < 0 {
 				continue
 			}
-			picks[ip*r.maxVCs+v] = pick{op: op, ovc: ovc, escape: escape}
+			flat := ip*r.maxVCs + v
+			picks[flat] = vaPick{op: op, ovc: ovc, escape: escape, valid: true}
+			flats = append(flats, flat)
 			r.Counters.VAOps++
 		}
 	}
-	if len(picks) == 0 {
+	r.vaFlats = flats
+	if len(flats) == 0 {
 		return
 	}
-	// Stage 2: per output VC, arbitrate among all requesting input
-	// VCs. Iterate output VCs that actually have requests.
-	type key struct{ op, ovc int }
-	byOut := make(map[key][]int, len(picks))
-	for flat, pk := range picks {
-		k := key{pk.op, pk.ovc}
-		byOut[k] = append(byOut[k], flat)
+	// Stage 2: per contested output VC, arbitrate among all
+	// requesting input VCs. Output VCs are visited in the order of
+	// their first nomination (ascending flat id), which is a pure
+	// function of router state.
+	keys := r.vaKeys[:0]
+	groups := r.vaGroups
+	for _, flat := range flats {
+		pk := picks[flat]
+		k := pk.op*r.maxVCs + pk.ovc
+		if len(groups[k]) == 0 {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], flat)
 	}
+	r.vaKeys = keys
 	req := r.vaReq
-	for k, flats := range byOut {
+	for _, k := range keys {
+		op, ovc := k/r.maxVCs, k%r.maxVCs
 		for i := range req {
 			req[i] = false
 		}
-		for _, flat := range flats {
+		for _, flat := range groups[k] {
 			req[flat] = true
 		}
-		w := r.vaS2G[k.op][k.ovc].Arbitrate(req)
+		groups[k] = groups[k][:0]
+		w := r.vaS2G[op][ovc].Arbitrate(req)
 		if w < 0 {
 			continue
 		}
 		ip, v := w/r.maxVCs, w%r.maxVCs
 		st := &r.in[ip].vc[v]
-		alloc := r.out[k.op].view.(perVCAllocator)
-		alloc.ClaimVC(k.ovc)
+		alloc := r.out[op].view.(perVCAllocator)
+		alloc.ClaimVC(ovc)
 		st.state = vcActive
-		st.outPort = k.op
-		st.outVC = k.ovc
+		st.outPort = op
+		st.outVC = ovc
 		r.Counters.VCGrants++
 	}
 }
@@ -500,6 +541,7 @@ func (r *Router) forward(ip, v, op int, now int64) {
 	st := &in.vc[v]
 	f, err := in.buf.Pop(v, now)
 	if err != nil {
+		//vichar:invariant SA only nominates VCs with a readable front flit within the same cycle
 		panic(fmt.Sprintf("router %d: SA winner vanished: %v", r.id, err))
 	}
 	r.Counters.BufferReads++
@@ -548,6 +590,25 @@ func (r *Router) InUseVCsPerPort() float64 {
 // InputBuffer exposes the buffer at input port p for tests and
 // diagnostics.
 func (r *Router) InputBuffer(p int) buffers.Buffer { return r.in[p].buf }
+
+// AuditInvariants runs the invariant auditor over every input port
+// with a unified buffer, returning the first violation: VC Control
+// Table ↔ Slot Availability Tracker coherence, slot-leak freedom and
+// one-packet-per-VC. Ports without a UBS (the fixed organizations)
+// have no cross-view bookkeeping to diverge and are skipped. The
+// network invokes this every cycle when Config.Audit is set.
+func (r *Router) AuditInvariants() error {
+	for p, in := range r.in {
+		ubs, ok := in.buf.(*core.UBS)
+		if !ok {
+			continue
+		}
+		if err := audit.CheckUBS(ubs); err != nil {
+			return fmt.Errorf("router %d port %d: %w", r.id, p, err)
+		}
+	}
+	return nil
+}
 
 // DebugState renders the router's microarchitectural state — per-VC
 // state machines, buffered flit counts, output credit views — for

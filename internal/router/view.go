@@ -35,6 +35,11 @@ type CreditView interface {
 	// OutstandingVCs returns the number of VCs currently granted and
 	// not yet released.
 	OutstandingVCs() int
+	// OutstandingFlits returns the view's debit: flits sent minus
+	// credits received. The invariant auditor balances it against the
+	// link's in-flight flits, the downstream occupancy and the
+	// in-flight credits.
+	OutstandingFlits() int
 }
 
 // NewCreditView builds the view matching the configuration's buffer
@@ -89,6 +94,7 @@ func (v *genericView) CanSendFlit(vc int) bool {
 
 func (v *genericView) OnSend(f *flit.Flit) {
 	if !v.CanSendFlit(f.VC) {
+		//vichar:invariant SA checks CanSendFlit the same cycle; a creditless send is a flow-control conservation bug
 		panic(fmt.Sprintf("router: send without credit on vc %d", f.VC))
 	}
 	v.credits[f.VC]--
@@ -99,10 +105,12 @@ func (v *genericView) OnSend(f *flit.Flit) {
 
 func (v *genericView) OnCredit(c flit.Credit) {
 	if c.VC < 0 || c.VC >= len(v.credits) {
+		//vichar:invariant a credit naming a VC the view does not mirror means the link is miswired
 		panic(fmt.Sprintf("router: credit for unknown vc %d", c.VC))
 	}
 	v.credits[c.VC]++
 	if v.credits[c.VC] > v.depth {
+		//vichar:invariant more credits than depth means a duplicated or spurious credit upstream
 		panic(fmt.Sprintf("router: credit overflow on vc %d", c.VC))
 	}
 }
@@ -175,6 +183,7 @@ func (v *genericView) GrantableVC(escape bool, hint int) int {
 // ClaimVC marks vc granted to a new packet (generic VA stage 2).
 func (v *genericView) ClaimVC(vc int) {
 	if vc < 0 || vc >= len(v.open) || !v.grantable(vc) {
+		//vichar:invariant VA stage 2 claims only VCs stage 1 reported grantable within the same cycle
 		panic(fmt.Sprintf("router: claim of ungrantable vc %d", vc))
 	}
 	v.open[vc] = true
@@ -184,6 +193,14 @@ func (v *genericView) FreeSlots() int {
 	n := 0
 	for _, c := range v.credits {
 		n += c
+	}
+	return n
+}
+
+func (v *genericView) OutstandingFlits() int {
+	n := 0
+	for _, c := range v.credits {
+		n += v.depth - c
 	}
 	return n
 }
@@ -244,6 +261,7 @@ func (v *sharedView) CanSendFlit(vc int) bool {
 
 func (v *sharedView) OnSend(f *flit.Flit) {
 	if !v.CanSendFlit(f.VC) {
+		//vichar:invariant SA checks CanSendFlit the same cycle; a creditless send is a flow-control conservation bug
 		panic(fmt.Sprintf("router: send without shared credit on vc %d", f.VC))
 	}
 	if v.sharedFree > 0 {
@@ -259,6 +277,7 @@ func (v *sharedView) OnSend(f *flit.Flit) {
 
 func (v *sharedView) OnCredit(c flit.Credit) {
 	if c.VC < 0 || c.VC >= len(v.open) || v.held[c.VC] == 0 {
+		//vichar:invariant a credit for a VC with no resident flits means double-crediting — pool accounting corruption
 		panic(fmt.Sprintf("router: stray shared credit on vc %d", c.VC))
 	}
 	v.held[c.VC]--
@@ -269,6 +288,7 @@ func (v *sharedView) OnCredit(c flit.Credit) {
 	} else {
 		v.sharedFree++
 		if v.sharedFree > v.slots-len(v.open) {
+			//vichar:invariant free count exceeding unreserved capacity means a leaked reservation or double credit
 			panic("router: shared credit overflow")
 		}
 	}
@@ -331,12 +351,21 @@ func (v *sharedView) GrantableVC(escape bool, hint int) int {
 // ClaimVC marks vc granted to a new packet.
 func (v *sharedView) ClaimVC(vc int) {
 	if vc < 0 || vc >= len(v.open) || v.open[vc] {
+		//vichar:invariant VA stage 2 claims only VCs stage 1 reported grantable within the same cycle
 		panic(fmt.Sprintf("router: claim of ungrantable vc %d", vc))
 	}
 	v.open[vc] = true
 }
 
 func (v *sharedView) FreeSlots() int { return v.sharedFree }
+
+func (v *sharedView) OutstandingFlits() int {
+	n := 0
+	for _, h := range v.held {
+		n += h
+	}
+	return n
+}
 
 func (v *sharedView) OutstandingVCs() int {
 	n := 0
@@ -398,6 +427,7 @@ func (v *vicharView) CanSendFlit(vc int) bool {
 
 func (v *vicharView) OnSend(f *flit.Flit) {
 	if !v.CanSendFlit(f.VC) {
+		//vichar:invariant SA checks CanSendFlit the same cycle; a creditless send is a flow-control conservation bug
 		panic(fmt.Sprintf("router: send without UBS credit on vc %d", f.VC))
 	}
 	if v.sharedFree > 0 {
@@ -416,12 +446,14 @@ func (v *vicharView) OnSend(f *flit.Flit) {
 
 func (v *vicharView) OnCredit(c flit.Credit) {
 	if c.VC < 0 || c.VC >= len(v.granted) || v.held[c.VC] == 0 {
+		//vichar:invariant a credit for an ungranted or empty VC means Token Dispenser / UBS bookkeeping divergence
 		panic(fmt.Sprintf("router: stray UBS credit on vc %d", c.VC))
 	}
 	v.held[c.VC]--
 	switch {
 	case c.ReleaseVC:
 		if v.held[c.VC] != 0 {
+			//vichar:invariant tails depart last, so a release credit with residents means flit reordering or a lost credit
 			panic(fmt.Sprintf("router: VC %d released with %d flits resident", c.VC, v.held[c.VC]))
 		}
 		// Tails depart last, so the reservation cannot be parked
@@ -438,6 +470,7 @@ func (v *vicharView) OnCredit(c flit.Credit) {
 		v.sharedFree++
 	}
 	if v.sharedFree > v.slots {
+		//vichar:invariant free slots exceeding pool capacity means a slot was credited twice
 		panic("router: UBS credit overflow")
 	}
 }
@@ -470,6 +503,14 @@ func (v *vicharView) AllocVC(escape bool) (int, bool) {
 
 func (v *vicharView) FreeSlots() int { return v.sharedFree }
 
+func (v *vicharView) OutstandingFlits() int {
+	n := 0
+	for _, h := range v.held {
+		n += h
+	}
+	return n
+}
+
 func (v *vicharView) OutstandingVCs() int { return v.dispenser.InUse() }
 
 // sinkView models the processing element at the end of a local
@@ -496,6 +537,10 @@ func (v *sinkView) HasFreeVC(escape bool) bool      { return true }
 func (v *sinkView) AllocVC(escape bool) (int, bool) { return 0, true }
 func (v *sinkView) FreeSlots() int                  { return 1 << 20 }
 func (v *sinkView) OutstandingVCs() int             { return v.outstanding }
+
+// OutstandingFlits is always zero at the sink: the processing element
+// consumes flits immediately and sends no credits back.
+func (v *sinkView) OutstandingFlits() int { return 0 }
 
 // GrantableVC always offers VC 0: the processing element consumes
 // flits of any number of interleaved packets.

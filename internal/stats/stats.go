@@ -216,6 +216,15 @@ func (c *Collector) Done() bool { return c.ejected >= c.warmup+c.measure }
 // Ejected returns the total ejected packet count so far.
 func (c *Collector) Ejected() int64 { return c.ejected }
 
+// Latencies returns a copy of the per-packet latencies recorded in
+// the measurement window, in ejection order. The determinism
+// regression test compares them element-wise across same-seed runs.
+func (c *Collector) Latencies() []int64 {
+	out := make([]int64, len(c.latencies))
+	copy(out, c.latencies)
+	return out
+}
+
 // PacketEjected records the ejection of p at cycle now.
 func (c *Collector) PacketEjected(p *flit.Packet, now int64) {
 	c.ejected++
