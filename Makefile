@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race shape bench experiments paper synth examples clean
+.PHONY: all build vet lint test race race-kernel shape bench bench-kernel experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -24,6 +24,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The parallel-stepper contract under the race detector: the sharded
+# two-phase kernel, its determinism tests and the composed experiment
+# parallelism.
+race-kernel:
+	$(GO) test -race ./internal/network/ -run 'TestWorkers|TestDeterministic'
+	$(GO) test -race ./experiments/ -run 'TestJobWorkers|TestKernelWorkers'
+
 # Just the statistical assertions of the paper's claims.
 shape:
 	$(GO) test . -run TestShape -v
@@ -31,6 +38,11 @@ shape:
 # One benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# The two-phase cycle kernel sweep (all four architectures, workers
+# 1/2/max on an 8x8 mesh near saturation), persisted as BENCH_kernel.json.
+bench-kernel:
+	VICHAR_BENCH_JSON=$(CURDIR)/BENCH_kernel.json $(GO) test . -run TestKernelBenchArtifact -v
 
 # Regenerate every figure/table at quick scale into results/.
 experiments:

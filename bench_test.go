@@ -9,6 +9,10 @@
 package vichar_test
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"vichar"
@@ -382,6 +386,137 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles = res.TotalCycles
 	}
 	b.ReportMetric(float64(cycles*int64(cfg.Nodes()))/float64(b.Elapsed().Seconds()/float64(b.N)), "router-cycles/s")
+}
+
+// --- Two-phase cycle kernel (DESIGN.md §10) ---
+
+// kernelBenchConfig is the kernel benchmark platform: the paper's 8x8
+// mesh driven near saturation, where the compute phase dominates and
+// sharding has the most work to parallelize.
+func kernelBenchConfig(arch vichar.BufferArch, workers int) vichar.Config {
+	cfg := vichar.DefaultConfig()
+	cfg.Arch = arch
+	cfg.InjectionRate = 0.40
+	cfg.WarmupPackets, cfg.MeasurePackets = 500, 2_000
+	cfg.MaxCycles = 80_000
+	cfg.Seed = 7
+	cfg.Workers = workers
+	return cfg
+}
+
+// kernelWorkerCounts is the sweep {1, 2, GOMAXPROCS}, deduplicated on
+// small machines.
+func kernelWorkerCounts() []int {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var out []int
+	for _, c := range counts {
+		if len(out) == 0 || c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runKernelOnce executes one full simulation on cfg and returns its
+// simulated cycle count.
+func runKernelOnce(cfg vichar.Config) (int64, error) {
+	s, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	res := s.Run()
+	return res.TotalCycles, nil
+}
+
+// BenchmarkKernel measures the two-phase cycle kernel across all four
+// buffer architectures and worker counts 1/2/max. The per-iteration
+// work is identical at every worker count (results are bit-identical
+// by the kernel's determinism contract), so ns/op ratios are pure
+// speedup.
+func BenchmarkKernel(b *testing.B) {
+	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
+		for _, w := range kernelWorkerCounts() {
+			cfg := kernelBenchConfig(arch, w)
+			b.Run(fmt.Sprintf("%s/workers=%d", arch, w), func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					c, err := runKernelOnce(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				perRun := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(cycles*int64(cfg.Nodes()))/perRun, "router-cycles/s")
+			})
+		}
+	}
+}
+
+// TestKernelBenchArtifact writes BENCH_kernel.json — the kernel sweep
+// of BenchmarkKernel with per-architecture speedups relative to the
+// serial kernel — when VICHAR_BENCH_JSON names the output path (see
+// `make bench-kernel`). Skipped otherwise: it spends seconds per
+// (architecture, workers) cell.
+func TestKernelBenchArtifact(t *testing.T) {
+	path := os.Getenv("VICHAR_BENCH_JSON")
+	if path == "" {
+		t.Skip("set VICHAR_BENCH_JSON=<path> to write the kernel benchmark artifact")
+	}
+	type cell struct {
+		Arch               string  `json:"arch"`
+		Workers            int     `json:"workers"`
+		NsPerRun           int64   `json:"ns_per_run"`
+		RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
+		SpeedupVsSerial    float64 `json:"speedup_vs_serial"`
+	}
+	artifact := struct {
+		Mesh          string  `json:"mesh"`
+		InjectionRate float64 `json:"injection_rate"`
+		GOMAXPROCS    int     `json:"gomaxprocs"`
+		Cells         []cell  `json:"cells"`
+	}{Mesh: "8x8", InjectionRate: 0.40, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
+		var serialNs int64
+		for _, w := range kernelWorkerCounts() {
+			cfg := kernelBenchConfig(arch, w)
+			var cycles int64
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := runKernelOnce(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+			})
+			perRun := r.T.Nanoseconds() / int64(r.N)
+			if w == 1 {
+				serialNs = perRun
+			}
+			speedup := 0.0
+			if serialNs > 0 {
+				speedup = float64(serialNs) / float64(perRun)
+			}
+			artifact.Cells = append(artifact.Cells, cell{
+				Arch:               arch.String(),
+				Workers:            w,
+				NsPerRun:           perRun,
+				RouterCyclesPerSec: float64(cycles*int64(cfg.Nodes())) * 1e9 / float64(perRun),
+				SpeedupVsSerial:    speedup,
+			})
+			t.Logf("%s workers=%d: %d ns/run (%.2fx vs serial)", arch, w, perRun, speedup)
+		}
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // BenchmarkAblationSpeculative compares the baseline 4-stage pipeline

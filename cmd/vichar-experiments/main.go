@@ -36,7 +36,8 @@ func main() {
 		extras  = flag.Bool("extras", false, "also run the extension experiments (speculative, hotspot, variable packets)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		paper   = flag.Bool("paper", false, "use the paper's full measurement protocol (slow)")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS; capped so jobs x kernel workers fit the machine)")
+		kernel  = flag.Int("kernel-workers", 0, "cycle-kernel workers per simulation (0/1 = serial; results identical at any setting)")
 		reps    = flag.Int("replicates", 1, "independent replicates per point (reports the mean)")
 		csvDir  = flag.String("csv", "", "also write <id>.csv files into this directory")
 		svgDir  = flag.String("svg", "", "also write <id>.svg charts into this directory")
@@ -61,6 +62,7 @@ func main() {
 		opts = experiments.Paper()
 	}
 	opts.Workers = *workers
+	opts.KernelWorkers = *kernel
 	opts.Replicates = *reps
 	if !*quiet {
 		opts.Progress = func(done, total int) {

@@ -7,9 +7,13 @@
 // Rules: map-range (no map iteration in the deterministic
 // simulator-core packages), ambient-entropy (no global math/rand, no
 // time.Now — randomness flows from Config.Seed), checked-errors (no
-// silently dropped error returns from simulator-internal calls) and
+// silently dropped error returns from simulator-internal calls),
 // panic-discipline (panics only in constructors or annotated
-// invariant violations). Sites proven safe are annotated in source:
+// invariant violations) and concurrency-ownership (no `go` statements
+// in internal packages outside the cycle kernel's shard executor,
+// internal/network/shards.go — all simulator parallelism must flow
+// through the two-phase kernel's ownership contract, DESIGN.md §10).
+// Sites proven safe are annotated in source:
 //
 //	//vichar:ordered <reason>      waives map-range
 //	//vichar:invariant <reason>    waives panic-discipline

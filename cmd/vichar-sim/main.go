@@ -46,6 +46,7 @@ func main() {
 		traceOut = flag.String("record-trace", "", "record the packet workload to this file")
 		confIn   = flag.String("config", "", "load the full configuration from a JSON file (other config flags are ignored)")
 		confOut  = flag.String("save-config", "", "write the resolved configuration as JSON and exit")
+		workers  = flag.Int("workers", 0, "cycle-kernel worker goroutines; 0/1 = serial, results identical at any setting")
 	)
 	flag.Parse()
 
@@ -104,6 +105,10 @@ func main() {
 		return
 	}
 
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
 	if *traceIn != "" {
 		cfg.InjectionRate = 0
 	}
@@ -111,6 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sim.Close()
 	if *traceOut != "" {
 		sim.RecordTrace()
 	}

@@ -135,8 +135,16 @@ type Options struct {
 	MeasurePackets int
 	// MaxCycles caps each run when positive.
 	MaxCycles int64
-	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	// Workers bounds parallel simulations; 0 means GOMAXPROCS. The
+	// effective job-level parallelism is additionally capped so that
+	// jobs x per-run kernel workers never exceeds GOMAXPROCS (see
+	// jobWorkers).
 	Workers int
+	// KernelWorkers, when positive, sets each run's cycle-kernel
+	// worker count (Config.Workers): the two-phase kernel shards every
+	// cycle across that many goroutines. Results are bit-identical at
+	// any setting; it trades run-level for cycle-level parallelism.
+	KernelWorkers int
 	// Seed overrides every run's seed when nonzero.
 	Seed int64
 	// Replicates repeats each run with derived seeds and reports the
@@ -173,7 +181,37 @@ func (o Options) apply(cfg vichar.Config) vichar.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	if o.KernelWorkers > 0 {
+		cfg.Workers = o.KernelWorkers
+	}
 	return cfg
+}
+
+// jobWorkers computes the effective job-level parallelism: the
+// requested worker count (0 meaning all of GOMAXPROCS), clamped to
+// the job total, and capped so that job-level parallelism times the
+// widest per-run cycle kernel stays within GOMAXPROCS — each parallel
+// run spawns its own kernel pool, and oversubscribing the scheduler
+// with jobs x kernel workers goroutines would slow every run down.
+func jobWorkers(requested, total, maxKernel, gomaxprocs int) int {
+	if maxKernel < 1 {
+		maxKernel = 1
+	}
+	budget := gomaxprocs / maxKernel
+	if budget < 1 {
+		budget = 1
+	}
+	workers := requested
+	if workers <= 0 || workers > budget {
+		workers = budget
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // Execute runs every simulation of the experiment (times Replicates),
@@ -186,16 +224,15 @@ func (e *Experiment) Execute(opts Options) (*Outcome, error) {
 	}
 	total := len(e.Runs) * reps
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// The widest cycle kernel any run will spawn decides how many runs
+	// can execute side by side without oversubscribing the scheduler.
+	maxKernel := 1
+	for i := range e.Runs {
+		if w := opts.apply(e.Runs[i].Config).Workers; w > maxKernel {
+			maxKernel = w
+		}
 	}
-	if workers > total {
-		workers = total
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := jobWorkers(opts.Workers, total, maxKernel, runtime.GOMAXPROCS(0))
 
 	type job struct {
 		run, rep int

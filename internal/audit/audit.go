@@ -121,3 +121,20 @@ func CheckLink(s LinkState) error {
 	}
 	return nil
 }
+
+// CheckLinks verifies a batch of link snapshots in order and returns
+// the first violation, or nil. The two-phase kernel shards the audit
+// across its worker pool: each shard snapshots and checks a contiguous
+// chunk of links with this function, and the kernel merges the
+// per-shard results in shard index order — so the violation reported
+// is the same one a serial scan of all links would find first. Like
+// the rest of the package the function is pure; it is safe to call
+// concurrently on disjoint snapshot slices.
+func CheckLinks(states []LinkState) error {
+	for _, s := range states {
+		if err := CheckLink(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -215,6 +215,15 @@ type Config struct {
 	// produce identical results.
 	Seed int64
 
+	// Workers is the number of worker goroutines of the two-phase
+	// cycle kernel (see DESIGN.md §10). 0 or 1 runs the kernel
+	// serially; higher values shard the deliver and compute phases of
+	// every cycle across that many workers. Results are bit-identical
+	// at every setting — the kernel's ownership contract and its
+	// index-ordered commit phase make the outcome independent of
+	// worker scheduling — so Workers is purely a wall-clock knob.
+	Workers int
+
 	// Audit enables the per-cycle invariant auditor (internal/audit):
 	// after every simulation step the network verifies credit
 	// conservation on every link and, for ViChaR, cross-checks each
@@ -360,6 +369,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: sample period must be positive, got %d", c.SampleEvery)
 	case c.ClockHz <= 0:
 		return fmt.Errorf("config: clock frequency must be positive, got %g", c.ClockHz)
+	case c.Workers < 0:
+		return fmt.Errorf("config: kernel workers cannot be negative, got %d", c.Workers)
 	}
 	if c.Arch == Generic {
 		if c.VCDepth < 1 {

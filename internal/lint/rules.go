@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -16,7 +17,16 @@ const (
 	RuleAmbientEntropy = "ambient-entropy"
 	RuleCheckedErrors  = "checked-errors"
 	RulePanics         = "panic-discipline"
+	RuleConcurrency    = "concurrency-ownership"
 )
+
+// shardExecutorFile is the one file under internal/ allowed to spawn
+// goroutines: the two-phase cycle kernel's worker pool (DESIGN.md
+// §10). Everywhere else a `go` statement bypasses the kernel's
+// ownership contract and its deterministic merge, so the
+// concurrency-ownership rule rejects it unless the site carries a
+// //vichar:nolint concurrency-ownership justification.
+const shardExecutorFile = "internal/network/shards.go"
 
 // deterministicPkgs are the simulator-core packages whose tick-path
 // code must be bit-reproducible for a given seed; the map-range,
@@ -111,9 +121,14 @@ func (c *checker) report(rule string, pos token.Pos, format string, args ...any)
 // run applies every applicable rule to the package.
 func (c *checker) run() {
 	deterministic := deterministicPkgs[c.pkg.Name]
+	internal := strings.Contains(c.pkg.ImportPath, "/internal/") ||
+		strings.HasSuffix(c.pkg.ImportPath, "/internal")
 	for _, f := range c.pkg.Files {
 		ann := parseAnnotations(c.fset, f)
 		c.checkEntropy(f, ann)
+		if internal {
+			c.checkConcurrency(f, ann)
+		}
 		if deterministic {
 			c.checkMapRange(f, ann)
 			c.checkErrors(f, ann)
@@ -150,6 +165,34 @@ func (c *checker) checkMapRange(f *ast.File, ann annotations) {
 		c.report(RuleMapRange, rs.For,
 			"range over map %s: iteration order is nondeterministic in a deterministic package; iterate an ordered slice or annotate //vichar:ordered <reason>",
 			types.TypeString(tv.Type, types.RelativeTo(c.pkg.Types)))
+		return true
+	})
+}
+
+// checkConcurrency flags `go` statements in internal packages outside
+// the shard-executor file. The two-phase cycle kernel's determinism
+// argument rests on every parallel region running through
+// shardExecutor.run with caller-side index-ordered merges; an ad-hoc
+// goroutine anywhere else in the simulator core reintroduces
+// scheduling order as a hidden input. Only an explicit
+// //vichar:nolint concurrency-ownership <reason> waives the rule.
+func (c *checker) checkConcurrency(f *ast.File, ann annotations) {
+	name := filepath.ToSlash(c.fset.Position(f.Package).Filename)
+	if name == shardExecutorFile || strings.HasSuffix(name, "/"+shardExecutorFile) {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		line := c.fset.Position(gs.Go).Line
+		if ann.suppresses(RuleConcurrency, line) {
+			return true
+		}
+		c.report(RuleConcurrency, gs.Go,
+			"go statement outside the shard executor (%s): internal packages must route parallelism through the cycle kernel or annotate //vichar:nolint %s <reason>",
+			shardExecutorFile, RuleConcurrency)
 		return true
 	})
 }

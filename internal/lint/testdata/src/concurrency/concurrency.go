@@ -1,0 +1,44 @@
+// Package concurrency is a lint fixture for the concurrency-ownership
+// rule: its import path sits under internal/, so `go` statements are
+// forbidden outside the shard-executor file. Lines expecting a
+// diagnostic carry an end-of-line marker checked by the engine's
+// tests.
+package concurrency
+
+// results is a sink so the goroutine bodies below have something to do.
+var results = make(chan int, 4)
+
+// fanOut spawns an ad-hoc goroutine with no annotation: flagged. The
+// scheduling of such a goroutine relative to the cycle kernel's
+// barriers is a hidden input the determinism contract does not admit.
+func fanOut(xs []int) {
+	for _, x := range xs {
+		x := x
+		go func() { //!lint concurrency-ownership
+			results <- x * x
+		}()
+	}
+}
+
+// drain runs serially: a plain call is never flagged.
+func drain(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-results
+	}
+	return total
+}
+
+// prefetch spawns a goroutine that only warms an OS cache and carries
+// a justification: the annotation waives the rule.
+func prefetch(path string, warm func(string)) {
+	//vichar:nolint concurrency-ownership cache warming has no observable effect on simulator state
+	go warm(path)
+}
+
+// prefetchBare carries a bare nolint with no justification: a naked
+// marker does not suppress, so the site is still flagged.
+func prefetchBare(path string, warm func(string)) {
+	//vichar:nolint concurrency-ownership
+	go warm(path) //!lint concurrency-ownership
+}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"vichar/internal/config"
@@ -49,4 +50,78 @@ func TestDeterministicCountersAndLatencies(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestWorkersBitIdentical is the parallel kernel's contract test: a
+// same-seed run must produce bit-identical Results — every counter and
+// every per-packet latency in ejection order — whether the two-phase
+// kernel steps serially (Workers=1) or shards cycles across a worker
+// pool (Workers=GOMAXPROCS, floored at 4 so the parallel path is
+// exercised even on small CI hosts). The per-cycle invariant auditor
+// runs throughout, so a sharding bug that corrupts flow-control state
+// without flipping an arbitration is caught too.
+func TestWorkersBitIdentical(t *testing.T) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 4 {
+		parallel = 4
+	}
+	for _, arch := range allArchs {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			run := func(workers int) (stats.Results, []int64) {
+				cfg := config.Default()
+				cfg.Width, cfg.Height = 4, 4
+				cfg.Arch = arch
+				cfg.InjectionRate = 0.3
+				cfg.WarmupPackets = 50
+				cfg.MeasurePackets = 300
+				cfg.Seed = 4242
+				cfg.Audit = true
+				cfg.Workers = workers
+				n := New(&cfg)
+				defer n.Close()
+				res := n.Run()
+				return res, n.Collector().Latencies()
+			}
+			r1, l1 := run(1)
+			rN, lN := run(parallel)
+			if !reflect.DeepEqual(r1, rN) {
+				t.Fatalf("Workers=1 vs Workers=%d diverged in results:\n%+v\n%+v", parallel, r1, rN)
+			}
+			if len(l1) != len(lN) {
+				t.Fatalf("Workers=1 vs Workers=%d measured %d vs %d packets", parallel, len(l1), len(lN))
+			}
+			for i := range l1 {
+				if l1[i] != lN[i] {
+					t.Fatalf("Workers=1 vs Workers=%d diverged at packet %d: latency %d vs %d", parallel, i, l1[i], lN[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersClampAndClose exercises the shard-count clamp (a worker
+// count beyond the node count degrades to one shard per router) and
+// verifies Close is idempotent and leaves the network usable: a
+// closed kernel lazily restarts its pool on the next parallel step.
+func TestWorkersClampAndClose(t *testing.T) {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 2, 2
+	cfg.InjectionRate = 0.2
+	cfg.WarmupPackets = 5
+	cfg.MeasurePackets = 20
+	cfg.Workers = 64 // far beyond 4 nodes: must clamp, not crash
+	n := New(&cfg)
+	if n.shardCount != 4 {
+		t.Fatalf("shardCount = %d, want clamp to 4 nodes", n.shardCount)
+	}
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	n.Close()
+	n.Close() // idempotent
+	for i := 0; i < 10; i++ {
+		n.Step() // pool restarts lazily
+	}
+	n.Close()
 }

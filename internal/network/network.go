@@ -4,12 +4,20 @@
 // with the paper's measurement protocol.
 //
 // The simulator is cycle-accurate at the granularity of architectural
-// components: every cycle delivers link payloads, generates and
-// injects traffic, and evaluates every router's pipeline stages in
+// components. Each cycle runs as an explicit two-phase kernel
+// (DESIGN.md §10): a deliver/inject phase that moves due link
+// payloads into their receivers and enqueues new traffic, then a
+// compute phase that evaluates every router's pipeline stages in
 // reverse order so that flits progress exactly one stage per cycle.
-// Routers only mutate their own state and enqueue onto links (which
-// deliver on later cycles), so results are independent of router
-// iteration order and fully deterministic for a given seed.
+// Every flit and credit link has exactly one writer router (compute
+// phase) and one receiver router (deliver phase), so both phases
+// shard by router ID across a fixed worker pool (Config.Workers) with
+// barriers between them; all global accounting — collector ejections,
+// the end-to-end sequence check, link traversal totals — is either
+// per-router/per-link indexed or committed serially in index order
+// between the phases. Results are therefore independent of router
+// iteration order and of the worker count, and fully deterministic
+// for a given seed.
 package network
 
 import (
@@ -160,6 +168,18 @@ func (s *ni) tick(now int64) {
 	}
 }
 
+// routerLinks is the deliver-phase plan of one router: every link
+// whose delivery mutates state owned by that router — flit links
+// feeding its input buffers, the ejection link of its processing
+// element (staged, see pendingEject), and credit links feeding its
+// output views or its network interface's view. One link appears in
+// exactly one router's plan, which is what makes the deliver phase
+// shardable by router ID.
+type routerLinks struct {
+	flits   []*flitLink
+	credits []*creditLink
+}
+
 // Network is a complete simulated NoC.
 type Network struct {
 	cfg  *config.Config
@@ -168,20 +188,33 @@ type Network struct {
 	routers []*router.Router
 	nis     []*ni
 
-	flitLinks   []*flitLink
-	creditLinks []*creditLink
+	// plan[id] holds the links the deliver phase ticks on router id's
+	// behalf; shards own contiguous ID ranges (shardBounds).
+	plan []routerLinks
+
+	// pendingEject[id] stages flits delivered to node id's processing
+	// element during the sharded deliver phase; the serial commit
+	// sub-phase ejects them in ascending node order, which matches the
+	// serial kernel's ejection-link order exactly.
+	pendingEject [][]*flit.Flit
+
+	// shardCount is the number of kernel shards (1 = serial); exec is
+	// the lazily created worker pool behind runSharded.
+	shardCount int
+	exec       *shardExecutor
 
 	// auditedLinks holds every credit-carrying link's conservation
-	// parties; checked per step when cfg.Audit is set.
+	// parties; checked per step when cfg.Audit is set. auditStates and
+	// auditErrs are per-shard scratch for the sharded audit pass.
 	auditedLinks []auditedLink
+	auditStates  [][]audit.LinkState
+	auditErrs    []error
 
 	gen       *traffic.Generator
 	collector *stats.Collector
 
 	now    int64
 	nextID uint64
-
-	linkTraversals uint64
 
 	// Inter-router channel load accounting: one entry per directed
 	// link, with snapshots bracketing the measurement window.
@@ -221,13 +254,24 @@ func New(cfg *config.Config) *Network {
 	mesh := topology.New(cfg.Width, cfg.Height)
 	mesh.Torus = cfg.Torus
 	n := &Network{
-		cfg:       cfg,
-		mesh:      mesh,
-		routers:   make([]*router.Router, mesh.Nodes()),
-		nis:       make([]*ni, mesh.Nodes()),
-		collector: stats.NewCollector(cfg.WarmupPackets, cfg.MeasurePackets, mesh.Nodes()),
-		expectSeq: make(map[uint64]int),
+		cfg:          cfg,
+		mesh:         mesh,
+		routers:      make([]*router.Router, mesh.Nodes()),
+		nis:          make([]*ni, mesh.Nodes()),
+		plan:         make([]routerLinks, mesh.Nodes()),
+		pendingEject: make([][]*flit.Flit, mesh.Nodes()),
+		collector:    stats.NewCollector(cfg.WarmupPackets, cfg.MeasurePackets, mesh.Nodes()),
+		expectSeq:    make(map[uint64]int),
 	}
+	n.shardCount = cfg.Workers
+	if n.shardCount < 1 {
+		n.shardCount = 1
+	}
+	if n.shardCount > mesh.Nodes() {
+		n.shardCount = mesh.Nodes()
+	}
+	n.auditStates = make([][]audit.LinkState, n.shardCount)
+	n.auditErrs = make([]error, n.shardCount)
 	for id := range n.routers {
 		n.routers[id] = router.New(id, cfg, mesh)
 	}
@@ -247,19 +291,24 @@ func New(cfg *config.Config) *Network {
 			n.linkMeta = append(n.linkMeta, stats.ChannelLoad{From: id, To: nb, Port: port})
 			n.linkFlits = append(n.linkFlits, 0)
 
+			// Delivery mutates the downstream router's input buffer
+			// (and this link's own flit counter), so the link belongs
+			// to the receiver's deliver-phase plan.
 			fl := &flitLink{delay: router.FlitDelay}
 			fl.deliver = func(f *flit.Flit, now int64) {
-				n.linkTraversals++
 				n.linkFlits[linkIdx]++
 				dst.ReceiveFlit(inPort, f, now)
 			}
-			n.flitLinks = append(n.flitLinks, fl)
+			n.plan[nb].flits = append(n.plan[nb].flits, fl)
 
+			// Credit delivery mutates the upstream router's output
+			// view, so the reverse channel belongs to the upstream
+			// router's plan.
 			cl := &creditLink{delay: router.CreditDelay}
 			src := r
 			outPort := port
 			cl.deliver = func(c flit.Credit) { src.ReceiveCredit(outPort, c) }
-			n.creditLinks = append(n.creditLinks, cl)
+			n.plan[id].credits = append(n.plan[id].credits, cl)
 
 			view := router.NewCreditView(cfg)
 			r.ConnectOutput(port, fl, view)
@@ -273,10 +322,17 @@ func New(cfg *config.Config) *Network {
 
 	// Local ports: ejection to the sink and injection from the NI.
 	for id, r := range n.routers {
-		// Ejection: router local output -> processing element.
+		// Ejection: router local output -> processing element. The
+		// sink mutates network-global state (collector, sequence
+		// check, snapshots), so delivery only stages the flit; the
+		// serial commit sub-phase of Step ejects staged flits in
+		// ascending node order.
+		node := id
 		ej := &flitLink{delay: router.FlitDelay}
-		ej.deliver = func(f *flit.Flit, now int64) { n.eject(f, now) }
-		n.flitLinks = append(n.flitLinks, ej)
+		ej.deliver = func(f *flit.Flit, now int64) {
+			n.pendingEject[node] = append(n.pendingEject[node], f)
+		}
+		n.plan[id].flits = append(n.plan[id].flits, ej)
 		r.ConnectOutput(topology.Local, ej, router.NewSinkView())
 
 		// Injection: NI -> router local input (one-cycle channel).
@@ -284,13 +340,13 @@ func New(cfg *config.Config) *Network {
 		inj := &flitLink{delay: 1}
 		dst := r
 		inj.deliver = func(f *flit.Flit, now int64) { dst.ReceiveFlit(topology.Local, f, now) }
-		n.flitLinks = append(n.flitLinks, inj)
+		n.plan[id].flits = append(n.plan[id].flits, inj)
 		s.link = inj
 
 		cl := &creditLink{delay: router.CreditDelay}
 		view := s.view
 		cl.deliver = func(c flit.Credit) { view.OnCredit(c) }
-		n.creditLinks = append(n.creditLinks, cl)
+		n.plan[id].credits = append(n.plan[id].credits, cl)
 		r.ConnectInputCredit(topology.Local, cl)
 		n.auditedLinks = append(n.auditedLinks, auditedLink{
 			name: fmt.Sprintf("ni%d->%d", id, id),
@@ -417,26 +473,60 @@ func (n *Network) eject(f *flit.Flit, now int64) {
 func dstOf(f *flit.Flit) int { return f.Pkt.Dst }
 
 // totalCounters sums activity across routers plus network-level link
-// traversals.
+// traversals. Link traversals are kept per link (each link is ticked
+// by exactly one shard), so the network-wide total is their sum.
 func (n *Network) totalCounters() stats.Counters {
 	var c stats.Counters
 	for _, r := range n.routers {
 		c.Add(r.Counters)
 	}
-	c.LinkTraversals = n.linkTraversals
+	for _, f := range n.linkFlits {
+		c.LinkTraversals += f
+	}
 	return c
 }
 
-// Step advances the simulation by exactly one cycle: deliver link
-// payloads, generate and inject traffic, evaluate every router.
+// Step advances the simulation by exactly one cycle through the
+// two-phase kernel:
+//
+//  1. Deliver (sharded by receiver router): every link delivers its
+//     due payloads into the receiving router's input buffers and
+//     credit views; ejections are staged per node.
+//  2. Commit + inject (serial): staged ejections are committed in
+//     ascending node order — the only phase that mutates the stats
+//     collector, the end-to-end sequence check and the measurement
+//     snapshots — then new traffic is generated and scheduled trace
+//     entries injected.
+//  3. Compute (sharded by router): every network interface and router
+//     evaluates its pipeline; the only cross-router effects are sends
+//     on links the router owns the write side of, delivered next
+//     cycle by phase 1.
+//
+// Shards own disjoint state and the serial sub-phase runs in a fixed
+// index order, so the cycle's outcome is bit-identical for any worker
+// count.
 func (n *Network) Step() {
 	n.now++
 	now := n.now
-	for _, l := range n.flitLinks {
-		l.tick(now)
-	}
-	for _, l := range n.creditLinks {
-		l.tick(now)
+	n.runSharded(func(shard int) {
+		lo, hi := n.shardBounds(shard)
+		for id := lo; id < hi; id++ {
+			rl := &n.plan[id]
+			for _, l := range rl.flits {
+				l.tick(now)
+			}
+			for _, l := range rl.credits {
+				l.tick(now)
+			}
+		}
+	})
+	for id := range n.pendingEject {
+		staged := n.pendingEject[id]
+		for i, f := range staged {
+			staged[i] = nil
+			n.eject(f, now)
+		}
+		n.pendingEject[id] = staged[:0]
 	}
 	if n.cfg.InjectionRate > 0 {
 		n.gen.Tick(now, func(src, dst, size int) { n.InjectPacketSized(src, dst, size) })
@@ -446,12 +536,13 @@ func (n *Network) Step() {
 		n.scheduleIdx++
 		n.InjectPacketSized(e.Src, e.Dst, e.Size)
 	}
-	for _, s := range n.nis {
-		s.tick(now)
-	}
-	for _, r := range n.routers {
-		r.Tick(now)
-	}
+	n.runSharded(func(shard int) {
+		lo, hi := n.shardBounds(shard)
+		for id := lo; id < hi; id++ {
+			n.nis[id].tick(now)
+			n.routers[id].Tick(now)
+		}
+	})
 	if n.cfg.Audit {
 		n.audit(now)
 	}
@@ -460,27 +551,55 @@ func (n *Network) Step() {
 	}
 }
 
+// Close releases the cycle kernel's worker pool (if any). The network
+// stays usable — a later parallel Step lazily restarts the pool — but
+// closing a finished network frees its goroutines immediately instead
+// of waiting for the garbage collector's finalizer.
+func (n *Network) Close() { n.stopKernel() }
+
 // audit runs the per-cycle invariant auditor (internal/audit) over
 // every credit-carrying link and every unified buffer. All router and
-// link mutation for the cycle has completed, so the conservation
-// equations must balance exactly; any violation is a simulator bug
-// and panics.
+// link mutation for the cycle has completed behind the compute-phase
+// barrier, so the checks are pure reads over quiescent state and are
+// sharded across the same worker pool as the kernel; per-shard first
+// violations are merged in index order, so the reported violation is
+// the same one the serial kernel would find. Any violation is a
+// simulator bug and panics.
 func (n *Network) audit(now int64) {
-	for _, al := range n.auditedLinks {
-		err := audit.CheckLink(audit.LinkState{
-			Name:               al.name,
-			Outstanding:        al.view.OutstandingFlits(),
-			InFlightFlits:      al.fl.inflight(),
-			DownstreamOccupied: al.buf.Occupied(),
-			InFlightCredits:    al.cl.inflight(),
-		})
+	errs := n.auditErrs
+	n.runSharded(func(shard int) {
+		states := n.auditStates[shard][:0]
+		lo, hi := chunkBounds(len(n.auditedLinks), n.shardCount, shard)
+		for _, al := range n.auditedLinks[lo:hi] {
+			states = append(states, audit.LinkState{
+				Name:               al.name,
+				Outstanding:        al.view.OutstandingFlits(),
+				InFlightFlits:      al.fl.inflight(),
+				DownstreamOccupied: al.buf.Occupied(),
+				InFlightCredits:    al.cl.inflight(),
+			})
+		}
+		n.auditStates[shard] = states
+		errs[shard] = audit.CheckLinks(states)
+	})
+	for _, err := range errs {
 		if err != nil {
 			//vichar:invariant a conservation imbalance means flow-control state corrupted mid-run; continuing would corrupt results
 			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
 		}
 	}
-	for _, r := range n.routers {
-		if err := r.AuditInvariants(); err != nil {
+	n.runSharded(func(shard int) {
+		errs[shard] = nil
+		lo, hi := n.shardBounds(shard)
+		for id := lo; id < hi; id++ {
+			if err := n.routers[id].AuditInvariants(); err != nil {
+				errs[shard] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
 			//vichar:invariant a UBS bookkeeping divergence means buffered flits can be lost or duplicated; continuing would corrupt results
 			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
 		}

@@ -1,0 +1,113 @@
+// The shard executor of the two-phase cycle kernel (DESIGN.md §10).
+//
+// This file is the single place under internal/ where goroutines may
+// be spawned — vichar-lint's concurrency-ownership rule rejects `go`
+// statements anywhere else. Confining the pool here keeps the
+// ownership contract auditable: every parallel region in the
+// simulator runs through shardExecutor.run, whose callers partition
+// state by router ID and merge global accounting serially in index
+// order, so worker scheduling can never leak into results.
+package network
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardExecutor is a fixed pool of worker goroutines executing
+// per-shard closures with a completion barrier. The pool is created
+// lazily on the first parallel Step and lives until the owning
+// Network is closed (or finalized by the garbage collector).
+type shardExecutor struct {
+	workers int
+
+	// fn is the closure of the batch in flight. It is written by run
+	// before the first shard is enqueued and cleared after the barrier;
+	// the channel send/receive pair orders every worker's read of fn
+	// after the write, and wg orders the clear after every read.
+	fn func(shard int)
+
+	shards chan int
+	wg     sync.WaitGroup
+}
+
+// newShardExecutor starts a pool of workers goroutines blocked on the
+// shard channel.
+func newShardExecutor(workers int) *shardExecutor {
+	e := &shardExecutor{workers: workers, shards: make(chan int, workers)}
+	for w := 0; w < workers; w++ {
+		go e.work()
+	}
+	return e
+}
+
+// work is one pool goroutine: it executes batch closures shard by
+// shard until the pool is stopped. Workers hold a reference to the
+// executor only — never to the Network — so an idle pool does not keep
+// its network reachable and the network's finalizer can stop the pool.
+func (e *shardExecutor) work() {
+	for s := range e.shards {
+		e.fn(s)
+		e.wg.Done()
+	}
+}
+
+// run executes fn(shard) for every shard in [0, count) across the
+// pool and returns once all of them have completed (the phase
+// barrier). fn must confine its writes to state owned by its shard;
+// any cross-shard accounting must be buffered per shard and merged by
+// the caller after run returns, in shard index order.
+func (e *shardExecutor) run(count int, fn func(shard int)) {
+	e.fn = fn
+	e.wg.Add(count)
+	for s := 0; s < count; s++ {
+		e.shards <- s
+	}
+	e.wg.Wait()
+	e.fn = nil
+}
+
+// stop terminates the pool goroutines. The executor must be idle (no
+// run in flight).
+func (e *shardExecutor) stop() { close(e.shards) }
+
+// runSharded executes fn over every shard: inline for the serial
+// kernel, across the worker pool otherwise. The pool is created on
+// first use; a finalizer backstops Close for networks that are
+// dropped without it.
+func (n *Network) runSharded(fn func(shard int)) {
+	if n.shardCount <= 1 {
+		fn(0)
+		return
+	}
+	if n.exec == nil {
+		n.exec = newShardExecutor(n.shardCount)
+		runtime.SetFinalizer(n, (*Network).stopKernel)
+	}
+	n.exec.run(n.shardCount, fn)
+}
+
+// stopKernel releases the worker pool; a later parallel Step restarts
+// it. The finalizer backstop is cleared so a restart can arm it again.
+func (n *Network) stopKernel() {
+	if n.exec != nil {
+		n.exec.stop()
+		n.exec = nil
+		runtime.SetFinalizer(n, nil)
+	}
+}
+
+// shardBounds returns the half-open router ID range [lo, hi) owned by
+// the shard: contiguous, balanced partitions that are a pure function
+// of (nodes, shardCount), so the shard→router map never depends on
+// scheduling.
+func (n *Network) shardBounds(shard int) (lo, hi int) {
+	nodes := len(n.routers)
+	return shard * nodes / n.shardCount, (shard + 1) * nodes / n.shardCount
+}
+
+// chunkBounds partitions an arbitrary index space (audited links)
+// across the same shard set.
+func chunkBounds(length, shards, shard int) (lo, hi int) {
+	return shard * length / shards, (shard + 1) * length / shards
+}

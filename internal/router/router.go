@@ -242,7 +242,16 @@ func (r *Router) ReceiveCredit(p int, c flit.Credit) {
 // §3.1) VA runs before SA within the cycle, so a head granted a VC
 // bids for the switch the same cycle — speculation modeled as always
 // succeeding — shortening the pipeline to RC, VA/SA, ST.
+//
+// Tick is the compute step of the network's two-phase cycle kernel
+// (DESIGN.md §10) and honors its ownership contract: it reads and
+// writes only this router's state — input buffers, VC state machines,
+// per-output credit views — plus the write ends of links this router
+// owns (output flit links and input-port credit links). It never
+// touches another router, so the kernel may run all routers' Ticks
+// concurrently between barriers.
 func (r *Router) Tick(now int64) {
+	r.escapeCheck(now)
 	if r.cfg.Speculative {
 		r.tickVA(now)
 		r.tickSA(now)
@@ -322,8 +331,11 @@ func (r *Router) escapeCheck(now int64) {
 }
 
 // tickVA performs the two-stage virtual channel allocation.
+// Deadlock-escape re-channeling (escapeCheck) has already run at the
+// top of Tick; it only retargets VCs still in vcWaitVA, which tickSA
+// never touches, so hoisting it out of VA leaves the serial semantics
+// unchanged in both pipeline organizations.
 func (r *Router) tickVA(now int64) {
-	r.escapeCheck(now)
 	if r.cfg.Arch == config.ViChaR {
 		r.tickVAViChaR(now)
 	} else {

@@ -157,6 +157,12 @@ func (s *Simulator) Run() Results {
 // Step advances the simulation by one cycle.
 func (s *Simulator) Step() { s.net.Step() }
 
+// Close releases the cycle kernel's worker pool (only present when
+// Config.Workers > 1). Optional — a finalizer backstops it — but
+// closing a finished simulator frees its goroutines immediately. The
+// simulator stays usable; a later Step restarts the pool.
+func (s *Simulator) Close() { s.net.Close() }
+
 // Now returns the current simulation cycle.
 func (s *Simulator) Now() int64 { return s.net.Now() }
 
@@ -193,6 +199,7 @@ func Run(cfg Config) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
+	defer s.Close()
 	return s.Run(), nil
 }
 
