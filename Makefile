@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-kernel shape bench bench-kernel experiments paper synth examples clean
+.PHONY: all build vet lint test race race-kernel race-obs shape bench bench-kernel bench-obs experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -31,6 +31,13 @@ race-kernel:
 	$(GO) test -race ./internal/network/ -run 'TestWorkers|TestDeterministic'
 	$(GO) test -race ./experiments/ -run 'TestJobWorkers|TestKernelWorkers'
 
+# The observability layer under the race detector: registry merges and
+# tracer drains in the kernel's serial phase racing against HTTP-style
+# snapshot readers, plus the instrumented determinism contract.
+race-obs:
+	$(GO) test -race ./internal/metrics/
+	$(GO) test -race ./internal/network/ -run 'TestMetrics|TestFlit|TestWorkersBitIdentical'
+
 # Just the statistical assertions of the paper's claims.
 shape:
 	$(GO) test . -run TestShape -v
@@ -43,6 +50,13 @@ bench:
 # 1/2/max on an 8x8 mesh near saturation), persisted as BENCH_kernel.json.
 bench-kernel:
 	VICHAR_BENCH_JSON=$(CURDIR)/BENCH_kernel.json $(GO) test . -run TestKernelBenchArtifact -v
+
+# Observability overhead sweep (disabled / metrics / metrics+trace on
+# the kernel benchmark platform), persisted as BENCH_obs.json. Set
+# VICHAR_OBS_SEED_NS=<ns/run> to also record drift vs a pre-metrics
+# baseline measured on the same machine.
+bench-obs:
+	VICHAR_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test . -run TestObsBenchArtifact -v
 
 # Regenerate every figure/table at quick scale into results/.
 experiments:

@@ -1,0 +1,157 @@
+// Observability-layer overhead benchmarks (DESIGN.md §11): the
+// metrics registry and flit tracer ride the router's per-cycle hot
+// path, so their cost is measured explicitly — above all the cost of
+// having them compiled in but switched off, which every ordinary run
+// pays.
+//
+//	go test -bench=BenchmarkMetricsOverhead
+//	make bench-obs
+package vichar_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"vichar"
+)
+
+// obsBenchModes are the instrumentation levels the overhead gate
+// sweeps, from the always-on baseline to full event tracing.
+var obsBenchModes = []struct {
+	name    string
+	metrics bool
+	trace   int
+}{
+	{"disabled", false, 0},
+	{"metrics", true, 0},
+	{"metrics+trace", true, 1 << 16},
+}
+
+// obsBenchConfig is kernelBenchConfig's platform with one
+// observability mode applied.
+func obsBenchConfig(mode int) vichar.Config {
+	cfg := kernelBenchConfig(vichar.ViChaR, 1)
+	cfg.Metrics = obsBenchModes[mode].metrics
+	cfg.TraceEvents = obsBenchModes[mode].trace
+	return cfg
+}
+
+// BenchmarkMetricsOverhead measures the same near-saturation ViChaR
+// run at each instrumentation level. The disabled mode is the
+// acceptance gate: it must stay within noise of the pre-observability
+// kernel baseline (every probe call is one nil check).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for mode := range obsBenchModes {
+		cfg := obsBenchConfig(mode)
+		b.Run(obsBenchModes[mode].name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runKernelOnce(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestObsBenchArtifact writes BENCH_obs.json — ns/run per
+// instrumentation mode with overheads relative to the disabled mode —
+// when VICHAR_OBS_JSON names the output path (see `make bench-obs`).
+// Set VICHAR_OBS_SEED_NS to the seed kernel's ns/run on the same
+// machine to also record the disabled mode's drift against the
+// pre-observability baseline.
+//
+// Modes are measured in interleaved rounds (disabled, metrics,
+// metrics+trace, repeat) and each mode reports its median round, so a
+// load spike on a shared machine skews every mode alike instead of
+// whichever one it landed on.
+func TestObsBenchArtifact(t *testing.T) {
+	path := os.Getenv("VICHAR_OBS_JSON")
+	if path == "" {
+		t.Skip("set VICHAR_OBS_JSON=<path> to write the observability benchmark artifact")
+	}
+	type row struct {
+		Mode               string  `json:"mode"`
+		NsPerRun           int64   `json:"ns_per_run"`
+		OverheadPct        float64 `json:"overhead_pct_vs_disabled"`
+		TraceEventsCap     int     `json:"trace_events_cap"`
+		SimulatedCycles    int64   `json:"simulated_cycles"`
+		RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
+	}
+	artifact := struct {
+		Mesh           string  `json:"mesh"`
+		Arch           string  `json:"arch"`
+		InjectionRate  float64 `json:"injection_rate"`
+		GOMAXPROCS     int     `json:"gomaxprocs"`
+		Rounds         int     `json:"median_of_rounds"`
+		SeedNsPerRun   int64   `json:"seed_ns_per_run,omitempty"`
+		DisabledVsSeed float64 `json:"disabled_vs_seed_pct,omitempty"`
+		Rows           []row   `json:"rows"`
+	}{Mesh: "8x8", Arch: "ViC-16", InjectionRate: 0.40, GOMAXPROCS: runtime.GOMAXPROCS(0), Rounds: 7}
+
+	const runsPerRound = 3
+	benchCfg := obsBenchConfig(0)
+	samples := make([][]int64, len(obsBenchModes))
+	var cycles int64
+	for round := 0; round < artifact.Rounds; round++ {
+		for mode := range obsBenchModes {
+			cfg := obsBenchConfig(mode)
+			//vichar:nolint ambient-entropy wall clock measures benchmark duration, not simulation behavior
+			start := time.Now()
+			for i := 0; i < runsPerRound; i++ {
+				c, err := runKernelOnce(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cycles = c
+			}
+			//vichar:nolint ambient-entropy wall clock measures benchmark duration, not simulation behavior
+			samples[mode] = append(samples[mode], time.Since(start).Nanoseconds()/runsPerRound)
+		}
+	}
+
+	median := func(xs []int64) int64 {
+		s := append([]int64(nil), xs...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+	disabledNs := median(samples[0])
+	for mode := range obsBenchModes {
+		perRun := median(samples[mode])
+		overhead := 0.0
+		if disabledNs > 0 {
+			overhead = 100 * (float64(perRun) - float64(disabledNs)) / float64(disabledNs)
+		}
+		artifact.Rows = append(artifact.Rows, row{
+			Mode:               obsBenchModes[mode].name,
+			NsPerRun:           perRun,
+			OverheadPct:        overhead,
+			TraceEventsCap:     obsBenchModes[mode].trace,
+			SimulatedCycles:    cycles,
+			RouterCyclesPerSec: float64(cycles*int64(benchCfg.Nodes())) * 1e9 / float64(perRun),
+		})
+		t.Logf("%s: %d ns/run (%+.2f%% vs disabled)", obsBenchModes[mode].name, perRun, overhead)
+	}
+
+	if seed := os.Getenv("VICHAR_OBS_SEED_NS"); seed != "" {
+		seedNs, err := strconv.ParseInt(seed, 10, 64)
+		if err != nil {
+			t.Fatalf("bad VICHAR_OBS_SEED_NS %q: %v", seed, err)
+		}
+		artifact.SeedNsPerRun = seedNs
+		artifact.DisabledVsSeed = 100 * (float64(disabledNs) - float64(seedNs)) / float64(seedNs)
+		t.Logf("disabled vs seed baseline: %+.2f%%", artifact.DisabledVsSeed)
+	}
+
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

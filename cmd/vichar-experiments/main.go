@@ -43,6 +43,7 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write <id>.svg charts into this directory")
 		chart   = flag.Bool("chart", false, "also print each experiment as an ASCII chart")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		observe = flag.Bool("observe", false, "run one instrumented simulation and print the metrics-registry report instead of an experiment")
 	)
 	flag.Parse()
 
@@ -61,6 +62,25 @@ func main() {
 	if *paper {
 		opts = experiments.Paper()
 	}
+
+	if *observe {
+		cfg := vichar.DefaultConfig()
+		cfg.Arch = vichar.ViChaR
+		cfg.InjectionRate = 0.30
+		if *kernel > 0 {
+			opts.KernelWorkers = *kernel
+		}
+		obs, err := experiments.Observe(cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(obs.Report())
+		if !obs.Reconciled() {
+			log.Fatal("registry totals do not reconcile with Results")
+		}
+		return
+	}
+
 	opts.Workers = *workers
 	opts.KernelWorkers = *kernel
 	opts.Replicates = *reps

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"vichar"
@@ -47,6 +49,12 @@ func main() {
 		confIn   = flag.String("config", "", "load the full configuration from a JSON file (other config flags are ignored)")
 		confOut  = flag.String("save-config", "", "write the resolved configuration as JSON and exit")
 		workers  = flag.Int("workers", 0, "cycle-kernel worker goroutines; 0/1 = serial, results identical at any setting")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live Prometheus-text metrics at this address (/metrics, /trace, /debug/pprof/); implies -metrics")
+		metricsOn  = flag.Bool("metrics", false, "enable the metrics registry even without -metrics-addr")
+		traceCap   = flag.Int("trace-events", 0, "retain the newest N flit lifecycle events (implies -metrics)")
+		traceJSONL = flag.String("trace-jsonl", "", "write the retained flit events to this JSONL file after the run (implies -trace-events 65536 unless set)")
 	)
 	flag.Parse()
 
@@ -108,6 +116,15 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *traceJSONL != "" && *traceCap == 0 {
+		*traceCap = 1 << 16
+	}
+	if *metricsOn || *metricsAddr != "" {
+		cfg.Metrics = true
+	}
+	if *traceCap > 0 {
+		cfg.TraceEvents = *traceCap
+	}
 
 	if *traceIn != "" {
 		cfg.InjectionRate = 0
@@ -117,6 +134,25 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sim.Close()
+
+	if *metricsAddr != "" {
+		h := sim.MetricsHandler()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", h)
+		mux.Handle("/trace", h)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Printf("metrics       : http://%s/metrics (pprof at /debug/pprof/)\n", *metricsAddr)
+	}
 	if *traceOut != "" {
 		sim.RecordTrace()
 	}
@@ -135,6 +171,18 @@ func main() {
 		}
 	}
 	res := sim.Run()
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.WriteFlitEventsJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

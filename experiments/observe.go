@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vichar"
+)
+
+// Observation is one instrumented run: the usual Results next to the
+// metrics-registry snapshot and the retained flit-event totals the
+// live observability layer produced for the same simulation.
+type Observation struct {
+	Config   vichar.Config
+	Results  vichar.Results
+	Snapshot vichar.MetricsSnapshot
+	Events   []vichar.FlitEvent
+}
+
+// Observe runs one configuration with the metrics registry and flit
+// tracer switched on and returns the paired outputs. It is the
+// in-process consumer of the Snapshot API that cmd/vichar-sim exposes
+// over HTTP: the snapshot totals must reconcile with Results, which
+// Report asserts in its rendering.
+func Observe(cfg vichar.Config, opts Options) (*Observation, error) {
+	cfg = opts.apply(cfg)
+	cfg.Metrics = true
+	if cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 1 << 15
+	}
+	sim, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+	res := sim.Run()
+	snap, ok := sim.MetricsSnapshot()
+	if !ok {
+		return nil, fmt.Errorf("experiments: metrics registry missing after instrumented run")
+	}
+	return &Observation{
+		Config:   cfg,
+		Results:  res,
+		Snapshot: snap,
+		Events:   sim.FlitEvents(),
+	}, nil
+}
+
+// observedTotals are the network-wide counter names Report renders,
+// in presentation order.
+var observedTotals = []string{
+	"vichar_packets_created_total",
+	"vichar_packets_ejected_total",
+	"vichar_flits_ejected_total",
+	"vichar_ni_flits_injected_total",
+	"vichar_buffer_writes_total",
+	"vichar_buffer_reads_total",
+	"vichar_rc_total",
+	"vichar_va_ops_total",
+	"vichar_va_grants_total",
+	"vichar_va_denials_total",
+	"vichar_sa_ops_total",
+	"vichar_sa_grants_total",
+	"vichar_sa_denials_total",
+	"vichar_xbar_traversals_total",
+	"vichar_link_flits_total",
+	"vichar_credit_stalls_total",
+	"vichar_ni_credit_stalls_total",
+}
+
+// Report renders the observation as an aligned text table: registry
+// totals, the busiest links, and the reconciliation of the registry
+// against the run's Results.
+func (o *Observation) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instrumented run: %s, %dx%d mesh, rate %.3f, seed %d\n",
+		o.Results.Label, o.Config.Width, o.Config.Height, o.Config.InjectionRate, o.Config.Seed)
+	b.WriteString("\nregistry totals (network-wide):\n")
+	for _, name := range observedTotals {
+		fmt.Fprintf(&b, "  %-34s %12d\n", name, o.Snapshot.Sum(name))
+	}
+
+	type link struct {
+		labels string
+		flits  uint64
+	}
+	var links []link
+	for _, c := range o.Snapshot.Counters {
+		if c.Name == "vichar_link_flits_total" {
+			links = append(links, link{c.Labels.String(), c.Value})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].flits != links[j].flits {
+			return links[i].flits > links[j].flits
+		}
+		return links[i].labels < links[j].labels
+	})
+	b.WriteString("\nbusiest links:\n")
+	for i, l := range links {
+		if i == 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-34s %12d flits\n", l.labels, l.flits)
+	}
+
+	// The registry is cumulative over the whole run while
+	// Results.Counters is windowed to the measurement interval, so
+	// whole-run quantities must match exactly and activity counters
+	// must bound their windowed counterparts from above.
+	b.WriteString("\nreconciliation vs Results:\n")
+	exact := func(name string, got, want uint64) {
+		status := "ok"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "  %-34s %12d vs %-12d %s\n", name, got, want, status)
+	}
+	covers := func(name string, whole, window uint64) {
+		status := "ok (cumulative >= measurement window)"
+		if whole < window {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "  %-34s %12d vs %-12d %s\n", name, whole, window, status)
+	}
+	exact("packets_ejected", o.Snapshot.Sum("vichar_packets_ejected_total"), uint64(o.Results.EjectedPackets))
+	covers("buffer_writes", o.Snapshot.Sum("vichar_buffer_writes_total"), o.Results.Counters.BufferWrites)
+	covers("xbar_traversals", o.Snapshot.Sum("vichar_xbar_traversals_total"), o.Results.Counters.XbarTraversals)
+	covers("link_flits", o.Snapshot.Sum("vichar_link_flits_total"), o.Results.Counters.LinkTraversals)
+	if cyc, ok := o.Snapshot.Gauge("vichar_cycle"); ok {
+		exact("final_cycle", uint64(cyc), uint64(o.Results.TotalCycles))
+	}
+	fmt.Fprintf(&b, "  flit events retained: %d\n", len(o.Events))
+	return b.String()
+}
+
+// Reconciled reports whether the registry agrees with the run's
+// Results: whole-run quantities (ejections, final cycle) match
+// exactly, and the cumulative activity counters cover the
+// measurement-window Counters.
+func (o *Observation) Reconciled() bool {
+	if o.Snapshot.Sum("vichar_packets_ejected_total") != uint64(o.Results.EjectedPackets) ||
+		o.Snapshot.Sum("vichar_buffer_writes_total") < o.Results.Counters.BufferWrites ||
+		o.Snapshot.Sum("vichar_xbar_traversals_total") < o.Results.Counters.XbarTraversals ||
+		o.Snapshot.Sum("vichar_link_flits_total") < o.Results.Counters.LinkTraversals {
+		return false
+	}
+	cyc, ok := o.Snapshot.Gauge("vichar_cycle")
+	return ok && cyc == float64(o.Results.TotalCycles)
+}

@@ -232,6 +232,20 @@ type Config struct {
 	// state per cycle; meant for tests and debugging, not sweeps.
 	Audit bool
 
+	// Metrics enables the live observability layer (internal/metrics):
+	// per-router, per-port, per-pipeline-stage counters staged on
+	// shard-owned recorders and merged serially at the stats sampling
+	// cadence, so results and registry state stay bit-identical for
+	// any Workers setting. Off by default; the disabled path costs
+	// one nil check per instrumentation site.
+	Metrics bool
+
+	// TraceEvents, when positive, bounds the flit-lifecycle event
+	// tracer's ring buffer (create, inject, RC, VA grant, SA grant,
+	// link traverse, eject) and implies Metrics. Zero disables
+	// tracing.
+	TraceEvents int
+
 	// AtomicVCAlloc, when true, lets a Generic VC be re-allocated
 	// only once it has fully drained (atomic buffer allocation). When
 	// false, packets may queue back-to-back within a VC FIFO, which
@@ -371,6 +385,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: clock frequency must be positive, got %g", c.ClockHz)
 	case c.Workers < 0:
 		return fmt.Errorf("config: kernel workers cannot be negative, got %d", c.Workers)
+	case c.TraceEvents < 0:
+		return fmt.Errorf("config: trace event ring capacity cannot be negative, got %d", c.TraceEvents)
 	}
 	if c.Arch == Generic {
 		if c.VCDepth < 1 {

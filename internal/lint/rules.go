@@ -38,6 +38,7 @@ var deterministicPkgs = map[string]bool{
 	"core":    true,
 	"buffers": true,
 	"routing": true,
+	"metrics": true,
 }
 
 // Diagnostic is one rule violation.

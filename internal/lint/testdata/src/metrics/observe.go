@@ -1,0 +1,88 @@
+// Package metrics is a lint fixture: the observability layer joined
+// the deterministic package set (its recorders are merged in the
+// kernel's serial phase, so staging order must be reproducible), and
+// this fixture pins the rules that guard it. Lines expecting a
+// diagnostic carry an end-of-line marker checked by the engine's
+// tests.
+package metrics
+
+import "sort"
+
+// renderSeries ranges a map while rendering: flagged — exposition
+// output must be byte-deterministic.
+func renderSeries(series map[string]uint64) []string {
+	var out []string
+	for name, v := range series { //!lint map-range
+		_ = v
+		out = append(out, name)
+	}
+	return out
+}
+
+// renderSorted iterates the same map through a sorted key slice: the
+// idiom the real registry uses, never flagged.
+func renderSorted(series map[string]uint64) []string {
+	names := make([]string, 0, len(series))
+	for name := range series { //vichar:ordered keys are collected then sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sink mimics a JSONL writer whose error encodes a short write.
+func sink(line string) error {
+	if line == "" {
+		return errSink
+	}
+	return nil
+}
+
+var errSink = sortableError("metrics: empty line")
+
+type sortableError string
+
+func (e sortableError) Error() string { return string(e) }
+
+// flush discards the sink's error: flagged — a lost write makes the
+// trace silently incomplete.
+func flush(lines []string) {
+	for _, l := range lines {
+		sink(l) //!lint checked-errors
+	}
+}
+
+// flushChecked acknowledges the drop explicitly: legal.
+func flushChecked(lines []string) {
+	for _, l := range lines {
+		_ = sink(l)
+	}
+}
+
+// NewRing validates its capacity in a constructor, where panics are
+// the package convention: not flagged.
+func NewRing(capacity int) []uint64 {
+	if capacity <= 0 {
+		panic("metrics: ring capacity must be positive")
+	}
+	return make([]uint64, capacity)
+}
+
+// drain panics outside a constructor with no invariant annotation:
+// flagged — tick-path code must return errors.
+func drain(ring []uint64, n int) []uint64 {
+	if n > len(ring) {
+		panic("metrics: drain past ring end") //!lint panic-discipline
+	}
+	return ring[:n]
+}
+
+// drainInvariant documents the "cannot happen" bookkeeping violation:
+// the annotation waives the rule.
+func drainInvariant(ring []uint64, n int) []uint64 {
+	if n > len(ring) {
+		//vichar:invariant drain length is clamped by the caller's staging count
+		panic("metrics: drain past ring end")
+	}
+	return ring[:n]
+}

@@ -1,0 +1,30 @@
+package metrics
+
+import "net/http"
+
+// Handler serves the registry in the Prometheus text exposition
+// format. When tr is non-nil the handler also serves the retained
+// flit-event ring as JSONL under /trace (relative to its mount
+// point). Both endpoints read under the registry lock, so they are
+// safe while the simulation is stepping on another goroutine; the
+// values reflect the last serial flush.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already streaming; all we can do is
+			// stop writing.
+			return
+		}
+	})
+	if tr != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			if err := tr.WriteJSONL(w); err != nil {
+				return
+			}
+		})
+	}
+	return mux
+}

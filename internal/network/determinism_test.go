@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"vichar/internal/config"
+	"vichar/internal/metrics"
 	"vichar/internal/stats"
 )
 
@@ -60,6 +61,12 @@ func TestDeterministicCountersAndLatencies(t *testing.T) {
 // exercised even on small CI hosts). The per-cycle invariant auditor
 // runs throughout, so a sharding bug that corrupts flow-control state
 // without flipping an arbitration is caught too.
+//
+// The run has the full observability layer on: the metrics registry
+// (merged serially in recorder index order) and the flit-event tracer
+// (drained in the same order, assigning global sequence numbers) must
+// also be bit-identical across worker counts — the contract
+// internal/metrics is designed around.
 func TestWorkersBitIdentical(t *testing.T) {
 	parallel := runtime.GOMAXPROCS(0)
 	if parallel < 4 {
@@ -68,7 +75,7 @@ func TestWorkersBitIdentical(t *testing.T) {
 	for _, arch := range allArchs {
 		arch := arch
 		t.Run(arch.String(), func(t *testing.T) {
-			run := func(workers int) (stats.Results, []int64) {
+			run := func(workers int) (stats.Results, []int64, metrics.Snapshot, []metrics.Event) {
 				cfg := config.Default()
 				cfg.Width, cfg.Height = 4, 4
 				cfg.Arch = arch
@@ -78,13 +85,15 @@ func TestWorkersBitIdentical(t *testing.T) {
 				cfg.Seed = 4242
 				cfg.Audit = true
 				cfg.Workers = workers
+				cfg.Metrics = true
+				cfg.TraceEvents = 4096
 				n := New(&cfg)
 				defer n.Close()
 				res := n.Run()
-				return res, n.Collector().Latencies()
+				return res, n.Collector().Latencies(), n.Metrics().Snapshot(), n.FlitTracer().Events()
 			}
-			r1, l1 := run(1)
-			rN, lN := run(parallel)
+			r1, l1, s1, e1 := run(1)
+			rN, lN, sN, eN := run(parallel)
 			if !reflect.DeepEqual(r1, rN) {
 				t.Fatalf("Workers=1 vs Workers=%d diverged in results:\n%+v\n%+v", parallel, r1, rN)
 			}
@@ -95,6 +104,12 @@ func TestWorkersBitIdentical(t *testing.T) {
 				if l1[i] != lN[i] {
 					t.Fatalf("Workers=1 vs Workers=%d diverged at packet %d: latency %d vs %d", parallel, i, l1[i], lN[i])
 				}
+			}
+			if !reflect.DeepEqual(s1, sN) {
+				t.Fatalf("Workers=1 vs Workers=%d diverged in metrics registry state", parallel)
+			}
+			if !reflect.DeepEqual(e1, eN) {
+				t.Fatalf("Workers=1 vs Workers=%d diverged in the flit event stream (%d vs %d events)", parallel, len(e1), len(eN))
 			}
 		})
 	}

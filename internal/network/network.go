@@ -27,6 +27,7 @@ import (
 	"vichar/internal/buffers"
 	"vichar/internal/config"
 	"vichar/internal/flit"
+	"vichar/internal/metrics"
 	"vichar/internal/router"
 	"vichar/internal/stats"
 	"vichar/internal/topology"
@@ -133,6 +134,10 @@ type ni struct {
 	cur []*flit.Flit
 	idx int
 	vc  int
+
+	// probe mirrors injection activity into the live metrics
+	// registry; nil (no-op) without an observability layer.
+	probe *metrics.NIProbe
 }
 
 func (s *ni) enqueue(p *flit.Packet) { s.queue = append(s.queue, p) }
@@ -156,11 +161,18 @@ func (s *ni) tick(now int64) {
 			s.vc = vc
 		}
 	}
-	if s.cur != nil && s.view.CanSendFlit(s.vc) {
+	if s.cur != nil {
+		if !s.view.CanSendFlit(s.vc) {
+			s.probe.CreditStall()
+			return
+		}
 		f := s.cur[s.idx]
 		f.VC = s.vc
 		s.view.OnSend(f)
 		s.link.SendFlit(f, now)
+		if s.probe != nil {
+			s.probe.Inject(now, f.Pkt.ID, f.Seq, s.vc)
+		}
 		s.idx++
 		if s.idx == len(s.cur) {
 			s.cur = nil
@@ -242,6 +254,31 @@ type Network struct {
 	// recorded accumulates creation events when recording is on.
 	recording bool
 	recorded  []trace.Entry
+
+	// obs is the live observability layer (internal/metrics); nil when
+	// Config.Metrics and Config.TraceEvents are both off. netProbe is
+	// obs's serial-phase probe, kept as its own field so eject and
+	// InjectPacketSized pay one nil check when observability is off.
+	obs      *obsState
+	netProbe *metrics.NetProbe
+}
+
+// obsState bundles the network's observability wiring: the shared
+// registry, one recorder per shard-owned node (index 1+id) plus one
+// for the serial phase (index 0), the optional event tracer and the
+// network-level gauges. Recorders are merged and drained — in fixed
+// index order — only from the serial side of the kernel (flushObs),
+// which is what keeps registry and event-stream state bit-identical
+// for any worker count.
+type obsState struct {
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
+	recs   []*metrics.Recorder
+
+	gCycle    metrics.GaugeID
+	gOcc      metrics.GaugeID
+	gVCs      metrics.GaugeID
+	gInflight metrics.GaugeID
 }
 
 // New builds and wires a network for the configuration. It panics on
@@ -276,6 +313,37 @@ func New(cfg *config.Config) *Network {
 		n.routers[id] = router.New(id, cfg, mesh)
 	}
 
+	// Observability layer: one recorder per node (written only by the
+	// shard that owns the node) plus one for the serial phase, built
+	// before link wiring so deliver closures can capture link probes.
+	if cfg.Metrics || cfg.TraceEvents > 0 {
+		o := &obsState{reg: metrics.NewRegistry()}
+		tracing := cfg.TraceEvents > 0
+		if tracing {
+			o.tracer = metrics.NewTracer(o.reg, cfg.TraceEvents)
+		}
+		o.recs = make([]*metrics.Recorder, 1+mesh.Nodes())
+		for i := range o.recs {
+			o.recs[i] = o.reg.NewRecorder(tracing)
+		}
+		n.netProbe = metrics.NewNetProbe(o.recs[0])
+		o.gCycle = o.reg.Gauge("vichar_cycle", "Current simulation cycle.", nil)
+		o.gOcc = o.reg.Gauge("vichar_buffer_occupancy_fraction",
+			"Network-wide input-buffer occupancy over total slots, at the last sample.", nil)
+		o.gVCs = o.reg.Gauge("vichar_inuse_vcs_per_port_avg",
+			"Mean in-use virtual channels per input port across the network, at the last sample.", nil)
+		o.gInflight = o.reg.Gauge("vichar_packets_inflight",
+			"Packets created but not yet fully ejected.", nil)
+		n.obs = o
+		portNames := make([]string, cfg.Ports())
+		for p := range portNames {
+			portNames[p] = topology.PortName(p)
+		}
+		for id, r := range n.routers {
+			r.SetProbe(metrics.NewRouterProbe(o.recs[1+id], id, portNames))
+		}
+	}
+
 	// Inter-router links: one flit link (downstream) and one credit
 	// link (upstream) per connected cardinal port pair.
 	for id, r := range n.routers {
@@ -293,11 +361,21 @@ func New(cfg *config.Config) *Network {
 
 			// Delivery mutates the downstream router's input buffer
 			// (and this link's own flit counter), so the link belongs
-			// to the receiver's deliver-phase plan.
+			// to the receiver's deliver-phase plan — and its probe
+			// writes on the receiver's recorder.
 			fl := &flitLink{delay: router.FlitDelay}
-			fl.deliver = func(f *flit.Flit, now int64) {
-				n.linkFlits[linkIdx]++
-				dst.ReceiveFlit(inPort, f, now)
+			if n.obs != nil {
+				lp := metrics.NewLinkProbe(n.obs.recs[1+nb], id, nb, inPort, topology.PortName(port))
+				fl.deliver = func(f *flit.Flit, now int64) {
+					n.linkFlits[linkIdx]++
+					lp.Deliver(now, f.Pkt.ID, f.Seq, f.VC)
+					dst.ReceiveFlit(inPort, f, now)
+				}
+			} else {
+				fl.deliver = func(f *flit.Flit, now int64) {
+					n.linkFlits[linkIdx]++
+					dst.ReceiveFlit(inPort, f, now)
+				}
 			}
 			n.plan[nb].flits = append(n.plan[nb].flits, fl)
 
@@ -337,6 +415,9 @@ func New(cfg *config.Config) *Network {
 
 		// Injection: NI -> router local input (one-cycle channel).
 		s := &ni{node: id, view: router.NewCreditView(cfg)}
+		if n.obs != nil {
+			s.probe = metrics.NewNIProbe(n.obs.recs[1+id], id)
+		}
 		inj := &flitLink{delay: 1}
 		dst := r
 		inj.deliver = func(f *flit.Flit, now int64) { dst.ReceiveFlit(topology.Local, f, now) }
@@ -393,6 +474,7 @@ func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
 	}
 	n.created++
 	n.nis[src].enqueue(p)
+	n.netProbe.PacketCreated(n.now, p.ID, src)
 	if n.recording {
 		n.recorded = append(n.recorded, trace.Entry{Cycle: n.now, Src: src, Dst: dst, Size: size})
 	}
@@ -441,6 +523,9 @@ func (n *Network) eject(f *flit.Flit, now int64) {
 	if f.Seq != want {
 		//vichar:invariant wormhole switching on a fixed VC cannot reorder flits of one packet
 		panic(fmt.Sprintf("network: flit %s ejected out of order (want seq %d)", f, want))
+	}
+	if n.netProbe != nil {
+		n.netProbe.FlitEjected(now, f.Pkt.ID, f.Seq, f.Pkt.Dst, f.VC, f.IsTail())
 	}
 	if !f.IsTail() {
 		n.expectSeq[f.Pkt.ID] = want + 1
@@ -548,8 +633,52 @@ func (n *Network) Step() {
 	}
 	if now%n.cfg.SampleEvery == 0 {
 		n.sample(now)
+		n.flushObs()
 	}
 }
+
+// flushObs commits the observability layer: staged counter deltas
+// merge into the registry and staged events drain into the tracer,
+// both in fixed recorder index order, and the network-level gauges
+// refresh. Runs only on the serial side of the kernel — Step's sample
+// cadence and the end of Run/Drain — after the compute barrier, so
+// recorders are quiescent. A live scrape therefore lags the
+// simulation by at most SampleEvery cycles.
+func (n *Network) flushObs() {
+	o := n.obs
+	if o == nil {
+		return
+	}
+	o.reg.MergeRecorders(o.recs)
+	if o.tracer != nil {
+		o.tracer.Drain(o.recs)
+	}
+	o.reg.SetGauge(o.gCycle, float64(n.now))
+	o.reg.SetGauge(o.gInflight, float64(n.created-n.collector.Ejected()))
+}
+
+// Metrics returns the live metrics registry, or nil when the
+// observability layer is off (Config.Metrics / Config.TraceEvents).
+func (n *Network) Metrics() *metrics.Registry {
+	if n.obs == nil {
+		return nil
+	}
+	return n.obs.reg
+}
+
+// FlitTracer returns the flit-lifecycle event tracer, or nil when
+// Config.TraceEvents is zero.
+func (n *Network) FlitTracer() *metrics.Tracer {
+	if n.obs == nil {
+		return nil
+	}
+	return n.obs.tracer
+}
+
+// FlushMetrics forces an observability commit outside the regular
+// cadence. It must be called from the goroutine driving Step (between
+// steps); tests and custom protocols use it before reading snapshots.
+func (n *Network) FlushMetrics() { n.flushObs() }
 
 // Close releases the cycle kernel's worker pool (if any). The network
 // stays usable — a later parallel Step lazily restarts the pool — but
@@ -620,6 +749,14 @@ func (n *Network) sample(now int64) {
 		frac = float64(occ) / float64(slots)
 	}
 	n.collector.Sample(now, frac, perNode)
+	if n.obs != nil {
+		vcs := 0.0
+		for _, v := range perNode {
+			vcs += v
+		}
+		n.obs.reg.SetGauge(n.obs.gOcc, frac)
+		n.obs.reg.SetGauge(n.obs.gVCs, vcs/float64(len(perNode)))
+	}
 }
 
 // Run executes the full measurement protocol: inject until the
@@ -645,6 +782,7 @@ func (n *Network) Run() stats.Results {
 		n.linkEndSnap = append([]uint64(nil), n.linkFlits...)
 		n.haveEnd = true
 	}
+	n.flushObs()
 	res := n.collector.Finalize(n.now, saturated)
 	if n.haveStart {
 		res.Counters = n.endSnap.Sub(n.startSnap)
@@ -690,6 +828,7 @@ func (n *Network) Drain(maxCycles int64) int64 {
 		}
 		n.Step()
 	}
+	n.flushObs()
 	return n.created - n.collector.Ejected() + int64(n.TracePending())
 }
 

@@ -20,6 +20,7 @@ import (
 	"vichar/internal/config"
 	"vichar/internal/core"
 	"vichar/internal/flit"
+	"vichar/internal/metrics"
 	"vichar/internal/routing"
 	"vichar/internal/stats"
 	"vichar/internal/topology"
@@ -107,6 +108,11 @@ type Router struct {
 	// Counters accumulates activity events since construction; the
 	// network snapshots it around the measurement window.
 	Counters stats.Counters
+
+	// probe mirrors Counters into the live metrics registry with
+	// per-port, per-stage resolution; nil (all calls no-ops) unless
+	// the network attached an observability layer.
+	probe *metrics.RouterProbe
 
 	// scratch state reused across ticks to avoid per-cycle allocation
 	saNominee []int // per input port: winning VC or -1
@@ -213,6 +219,11 @@ func (r *Router) ConnectInputCredit(p int, credit CreditSender) {
 	r.in[p].credit = credit
 }
 
+// SetProbe attaches the live-metrics probe. Like the ports it must be
+// wired before the first tick; a nil probe (the default) keeps every
+// instrumentation site a single pointer check.
+func (r *Router) SetProbe(p *metrics.RouterProbe) { r.probe = p }
+
 // OutputView returns the credit view at output port p (tests and the
 // network interface use it).
 func (r *Router) OutputView(p int) CreditView { return r.out[p].view }
@@ -226,6 +237,7 @@ func (r *Router) ReceiveFlit(p int, f *flit.Flit, now int64) {
 		panic(fmt.Sprintf("router %d port %d: %v", r.id, p, err))
 	}
 	r.Counters.BufferWrites++
+	r.probe.BufferWrite(p)
 }
 
 // ReceiveCredit applies an upstream-bound credit at output port p.
@@ -288,6 +300,10 @@ func (r *Router) tickRC(now int64) {
 			}
 			st.state = vcWaitVA
 			st.waitSince = now
+			if r.probe != nil {
+				r.probe.RC()
+				r.probe.Event(metrics.EvRC, now, r.id, f.Pkt.ID, -1, -1, v)
+			}
 		}
 	}
 }
@@ -357,6 +373,7 @@ func (r *Router) tickVAViChaR(now int64) {
 	for i := range noms {
 		noms[i].invc = -1
 	}
+	contenders, grants := 0, 0
 	req := r.vaReq[:r.maxVCs]
 	for ip, in := range r.in {
 		any := false
@@ -369,12 +386,14 @@ func (r *Router) tickVAViChaR(now int64) {
 			if r.bestCandidate(st, st.pkt.Escaped) >= 0 {
 				req[v] = true
 				any = true
+				contenders++
 			}
 		}
 		if !any {
 			continue
 		}
 		r.Counters.VAOps++
+		r.probe.VAOp()
 		w := r.vaS1[ip].Arbitrate(req)
 		if w < 0 {
 			continue
@@ -408,7 +427,13 @@ func (r *Router) tickVAViChaR(now int64) {
 		st.outPort = op
 		st.outVC = vc
 		r.Counters.VCGrants++
+		grants++
+		if r.probe != nil {
+			r.probe.VAGrant()
+			r.probe.Event(metrics.EvVAGrant, now, r.id, st.pkt.ID, -1, op, vc)
+		}
 	}
+	r.probe.VADenials(contenders - grants)
 }
 
 // vaPick is one stage-1 VA nomination: the (output port, output VC)
@@ -461,12 +486,14 @@ func (r *Router) tickVAGeneric(now int64) {
 			picks[flat] = vaPick{op: op, ovc: ovc, escape: escape, valid: true}
 			flats = append(flats, flat)
 			r.Counters.VAOps++
+			r.probe.VAOp()
 		}
 	}
 	r.vaFlats = flats
 	if len(flats) == 0 {
 		return
 	}
+	grants := 0
 	// Stage 2: per contested output VC, arbitrate among all
 	// requesting input VCs. Output VCs are visited in the order of
 	// their first nomination (ascending flat id), which is a pure
@@ -504,27 +531,53 @@ func (r *Router) tickVAGeneric(now int64) {
 		st.outPort = op
 		st.outVC = ovc
 		r.Counters.VCGrants++
+		grants++
+		if r.probe != nil {
+			r.probe.VAGrant()
+			r.probe.Event(metrics.EvVAGrant, now, r.id, st.pkt.ID, -1, op, ovc)
+		}
 	}
+	r.probe.VADenials(len(flats) - grants)
 }
 
 // tickSA performs the two-stage switch allocation and moves winners
 // through the crossbar onto their links.
 func (r *Router) tickSA(now int64) {
+	contenders, grants := 0, 0
 	req := r.vaReq[:r.maxVCs]
 	for ip, in := range r.in {
 		r.saNominee[ip] = -1
 		any := false
-		for v := range in.vc {
-			st := &in.vc[v]
-			req[v] = st.state == vcActive &&
-				in.buf.Front(v, now) != nil &&
-				r.out[st.outPort].view.CanSendFlit(st.outVC)
-			any = any || req[v]
+		if r.probe == nil {
+			// Uninstrumented fast path: this loop runs ports x VCs
+			// every cycle, so the probe bookkeeping below must not
+			// tax it.
+			for v := range in.vc {
+				st := &in.vc[v]
+				req[v] = st.state == vcActive &&
+					in.buf.Front(v, now) != nil &&
+					r.out[st.outPort].view.CanSendFlit(st.outVC)
+				any = any || req[v]
+			}
+		} else {
+			for v := range in.vc {
+				st := &in.vc[v]
+				ready := st.state == vcActive && in.buf.Front(v, now) != nil
+				req[v] = ready && r.out[st.outPort].view.CanSendFlit(st.outVC)
+				if ready && !req[v] {
+					r.probe.CreditStall(st.outPort)
+				}
+				any = any || req[v]
+				if req[v] {
+					contenders++
+				}
+			}
 		}
 		if !any {
 			continue
 		}
 		r.Counters.SAOps++
+		r.probe.SAOp()
 		r.saNominee[ip] = r.saS1[ip].Arbitrate(req)
 	}
 	req2 := r.saReq
@@ -543,7 +596,9 @@ func (r *Router) tickSA(now int64) {
 			continue
 		}
 		r.forward(w, r.saNominee[w], op, now)
+		grants++
 	}
+	r.probe.SADenials(contenders - grants)
 }
 
 // forward pops the SA-winning flit and sends it across the crossbar
@@ -558,6 +613,12 @@ func (r *Router) forward(ip, v, op int, now int64) {
 	}
 	r.Counters.BufferReads++
 	r.Counters.XbarTraversals++
+	if r.probe != nil {
+		r.probe.BufferRead(ip)
+		r.probe.Xbar()
+		r.probe.SAGrant()
+		r.probe.Event(metrics.EvSAGrant, now, r.id, f.Pkt.ID, f.Seq, op, st.outVC)
+	}
 
 	if in.credit != nil {
 		in.credit.SendCredit(flit.Credit{VC: v, ReleaseVC: f.IsTail()}, now)

@@ -17,7 +17,11 @@ import (
 )
 
 // percentile returns the p-quantile (0..1) of an ascending-sorted
-// sample using nearest-rank interpolation.
+// sample using linear interpolation between the two closest ranks
+// (the "C = 1" / inclusive convention: pos = p*(n-1), the value
+// interpolated between sorted[floor(pos)] and sorted[ceil(pos)]).
+// A single-element sample returns that element for every p, and
+// p = 1.0 returns the maximum.
 func percentile(sorted []int64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -183,8 +187,9 @@ type Collector struct {
 	ejectedFlits int64
 
 	measuring    bool
+	opened       bool // the window has opened at least once
 	measureStart int64
-	measureEnd   int64
+	measureEnd   int64 // 0 while the window is still open
 
 	occSum     float64
 	occSamples int64
@@ -229,16 +234,18 @@ func (c *Collector) Latencies() []int64 {
 	return out
 }
 
-// PacketEjected records the ejection of p at cycle now.
+// PacketEjected records the ejection of p at cycle now. The
+// measurement window opens at the cycle of the boundary ejection —
+// the warmup-th one, or the very first when there is no warm-up — so
+// latency sums, throughput, occupancy samples and the network's
+// counter snapshots all bracket the same [start, end] interval
+// (Window).
 func (c *Collector) PacketEjected(p *flit.Packet, now int64) {
 	c.ejected++
-	if c.ejected == c.warmup {
+	if !c.opened && (c.ejected == c.warmup || c.warmup == 0) {
 		c.measuring = true
+		c.opened = true
 		c.measureStart = now
-	}
-	if c.warmup == 0 && c.ejected == 1 {
-		c.measuring = true
-		c.measureStart = p.CreatedAt
 	}
 	if c.measuring && c.ejected > c.warmup && c.measured < c.measure {
 		c.measured++
@@ -286,6 +293,23 @@ func (c *Collector) Sample(now int64, occupancy float64, perNodeVCs []float64) {
 // for events inside the measurement window.
 func (c *Collector) AddCounters(delta Counters) { c.counters.Add(delta) }
 
+// Window returns the measurement window's bounds as of cycle now.
+// start is the cycle the window opened; end is the cycle it closed,
+// or now while it is still open — a saturated run that hits its cycle
+// cap mid-measurement gets the same bounds every downstream consumer
+// (throughput, occupancy, power) divides by. ok is false when the
+// window never opened (no measurable ejection before the cap).
+func (c *Collector) Window(now int64) (start, end int64, ok bool) {
+	if !c.opened {
+		return 0, 0, false
+	}
+	end = c.measureEnd
+	if end == 0 {
+		end = now
+	}
+	return c.measureStart, end, true
+}
+
 // Finalize closes the run at cycle now and computes the results.
 // saturated marks a run that hit its cycle cap short of its quota.
 func (c *Collector) Finalize(now int64, saturated bool) Results {
@@ -297,12 +321,8 @@ func (c *Collector) Finalize(now int64, saturated bool) Results {
 		Counters:        c.counters,
 		VCSeries:        c.series,
 	}
-	end := c.measureEnd
-	if end == 0 {
-		end = now
-	}
-	if c.measureStart > 0 || c.warmup == 0 {
-		r.MeasureCycles = end - c.measureStart
+	if start, end, ok := c.Window(now); ok {
+		r.MeasureCycles = end - start
 	}
 	if c.measured > 0 {
 		r.AvgLatency = c.latencySum / float64(c.measured)

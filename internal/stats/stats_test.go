@@ -171,3 +171,93 @@ func TestPercentileHelper(t *testing.T) {
 		t.Fatalf("interpolated median %.1f, want 2", got)
 	}
 }
+
+// Pin the percentile contract: linear interpolation between closest
+// ranks (pos = p*(n-1)), single-element samples return that element
+// for every p, and p=1.0 returns the maximum.
+func TestPercentileLinearInterpolation(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []int64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"n=1 p=0", []int64{10}, 0, 10},
+		{"n=1 p=0.5", []int64{10}, 0.5, 10},
+		{"n=1 p=1", []int64{10}, 1.0, 10},
+		{"n=2 median interpolates", []int64{10, 20}, 0.5, 15},
+		{"n=2 p=1 is max", []int64{10, 20}, 1.0, 20},
+		{"n=4 p75", []int64{1, 2, 3, 10}, 0.75, 4.75}, // pos=2.25 -> 3 + 0.25*7
+		{"n=5 exact rank", []int64{1, 2, 3, 4, 5}, 0.5, 3},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(%v, %g) = %g, want %g", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+// P50/P95/P99 over 1..100 under the inclusive linear-interpolation
+// convention: pos = p*99.
+func TestFinalizePercentiles(t *testing.T) {
+	c := NewCollector(0, 100, 1)
+	for i := int64(1); i <= 100; i++ {
+		c.PacketEjected(&flit.Packet{Size: 1, CreatedAt: 0, InjectedAt: 0, EjectedAt: i}, i)
+	}
+	r := c.Finalize(100, false)
+	if r.P50Latency != 50.5 {
+		t.Errorf("P50 = %g, want 50.5", r.P50Latency)
+	}
+	if r.P95Latency != 95.05 {
+		t.Errorf("P95 = %g, want 95.05", r.P95Latency)
+	}
+	if r.P99Latency != 99.01 {
+		t.Errorf("P99 = %g, want 99.01", r.P99Latency)
+	}
+	if r.MaxLatency != 100 {
+		t.Errorf("MaxLatency = %d, want 100", r.MaxLatency)
+	}
+}
+
+// A saturated run closes its window at the cycle cap: Window,
+// MeasureCycles and Throughput must agree on [start, now].
+func TestSaturatedWindowConsistency(t *testing.T) {
+	c := NewCollector(1, 10, 4)
+	eject := func(created, now int64) {
+		c.PacketEjected(&flit.Packet{Size: 4, CreatedAt: created, EjectedAt: now}, now)
+	}
+	eject(90, 100) // warm-up boundary: window opens at cycle 100
+	eject(95, 110)
+	eject(96, 120)
+	eject(97, 130) // only 3 of 10 measured packets before the cap
+	start, end, ok := c.Window(200)
+	if !ok || start != 100 || end != 200 {
+		t.Fatalf("Window(200) = (%d, %d, %v), want (100, 200, true)", start, end, ok)
+	}
+	r := c.Finalize(200, true)
+	if !r.Saturated {
+		t.Fatal("run not marked saturated")
+	}
+	if r.MeasureCycles != 100 {
+		t.Fatalf("MeasureCycles = %d, want 100 (window 100..200)", r.MeasureCycles)
+	}
+	wantThr := float64(3*4) / 100
+	if r.Throughput != wantThr {
+		t.Fatalf("Throughput = %g, want %g (12 flits over the same window)", r.Throughput, wantThr)
+	}
+}
+
+// With no warm-up the window opens at the first ejection's cycle (not
+// the packet's creation), matching the network's counter snapshots.
+func TestZeroWarmupWindowOpensAtEjection(t *testing.T) {
+	c := NewCollector(0, 10, 1)
+	c.PacketEjected(&flit.Packet{Size: 2, CreatedAt: 40, EjectedAt: 50}, 50)
+	start, end, ok := c.Window(60)
+	if !ok || start != 50 || end != 60 {
+		t.Fatalf("Window(60) = (%d, %d, %v), want (50, 60, true)", start, end, ok)
+	}
+	if _, _, ok := NewCollector(5, 10, 1).Window(60); ok {
+		t.Fatal("unopened window reported ok")
+	}
+}

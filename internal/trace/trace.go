@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -65,7 +66,10 @@ func Write(w io.Writer, entries []Entry) error {
 }
 
 // Read parses a trace from r. Entries are returned sorted by cycle
-// (stable, preserving same-cycle order).
+// (stable, preserving same-cycle order). Every data line must consist
+// of exactly four integer fields; lines with missing, trailing or
+// non-numeric tokens are rejected with a line-numbered error rather
+// than silently truncated or partially parsed.
 func Read(r io.Reader) ([]Entry, error) {
 	var entries []Entry
 	sc := bufio.NewScanner(r)
@@ -77,8 +81,8 @@ func Read(r io.Reader) ([]Entry, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		var e Entry
-		if _, err := fmt.Sscanf(line, "%d %d %d %d", &e.Cycle, &e.Src, &e.Dst, &e.Size); err != nil {
+		e, err := parseLine(line)
+		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %q: %w", lineNo, line, err)
 		}
 		entries = append(entries, e)
@@ -88,6 +92,32 @@ func Read(r io.Reader) ([]Entry, error) {
 	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Cycle < entries[j].Cycle })
 	return entries, nil
+}
+
+// parseLine parses one non-comment trace line of exactly four
+// integer fields: cycle src dst size.
+func parseLine(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Entry{}, fmt.Errorf("want 4 fields (cycle src dst size), got %d", len(fields))
+	}
+	cycle, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad cycle: %w", err)
+	}
+	src, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad source: %w", err)
+	}
+	dst, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad destination: %w", err)
+	}
+	size, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad size: %w", err)
+	}
+	return Entry{Cycle: cycle, Src: src, Dst: dst, Size: size}, nil
 }
 
 // ValidateAll checks every entry against the node count.

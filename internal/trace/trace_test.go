@@ -65,13 +65,34 @@ func TestReadSkipsCommentsAndBlanks(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	for _, src := range []string{"1 2 3", "a b c d", "1 2 3 4 5x"} {
-		if _, err := Read(strings.NewReader(src)); err == nil && src != "1 2 3 4 5x" {
+	for _, src := range []string{
+		"1 2 3",        // too few fields
+		"a b c d",      // non-numeric fields
+		"1 2 3 4 5x",   // trailing garbage token
+		"1 2 3 4 oops", // trailing word (fmt.Sscanf used to accept this)
+		"1 2 3 4 5",    // extra numeric field
+		"1 2 3x 4",     // non-numeric destination
+		"nope",
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
 			t.Errorf("garbage %q accepted", src)
 		}
 	}
-	if _, err := Read(strings.NewReader("nope")); err == nil {
-		t.Error("non-numeric line accepted")
+}
+
+// Malformed lines are reported with their 1-based line number, past
+// comments and blanks, and leave no partial result.
+func TestReadErrorCarriesLineNumber(t *testing.T) {
+	src := "# header\n1 0 1 4\n\n2 1 0 4 oops\n"
+	out, err := Read(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name line 4", err)
+	}
+	if out != nil {
+		t.Fatalf("partial result %v returned with error", out)
 	}
 }
 

@@ -119,14 +119,13 @@ func pareto(rng *rand.Rand, alpha, mean float64) int64 {
 
 // Tick advances every source by one cycle and calls
 // emit(src, dst, size) for each packet created this cycle (at most
-// one per node per cycle).
+// one per node per cycle). Destination never returns the source
+// itself, so every generated packet is emitted and each node's
+// measured injection rate matches the configured offered load.
 func (g *Generator) Tick(now int64, emit func(src, dst, size int)) {
 	for node := 0; node < g.mesh.Nodes(); node++ {
 		if g.generates(node) {
-			dst := g.Destination(node)
-			if dst != node {
-				emit(node, dst, g.PacketSize(node))
-			}
+			emit(node, g.Destination(node), g.PacketSize(node))
 		}
 	}
 }
@@ -172,7 +171,14 @@ func (g *Generator) generates(node int) bool {
 }
 
 // Destination draws a destination for a packet created at src
-// according to the configured spatial pattern.
+// according to the configured spatial pattern. Fixed permutation
+// patterns map some sources to themselves (Transpose on the mesh
+// diagonal, Bit-Complement on the center of an odd-sized mesh); a
+// self-addressed packet would never enter the network, silently
+// under-delivering the configured offered load at exactly those
+// nodes, so such sources fall back to a uniform draw over the other
+// nodes. The fallback consumes the node's own RNG stream, keeping the
+// draw order deterministic and independent of other nodes.
 func (g *Generator) Destination(src int) int {
 	rng := g.rngs[src]
 	switch g.cfg.Dest {
@@ -189,9 +195,15 @@ func (g *Generator) Destination(src int) int {
 		return g.mesh.Node((x+off)%g.mesh.Width, y)
 	case config.Transpose:
 		x, y := g.mesh.XY(src)
-		return g.mesh.Node(y%g.mesh.Width, x%g.mesh.Height)
+		if dst := g.mesh.Node(y%g.mesh.Width, x%g.mesh.Height); dst != src {
+			return dst
+		}
+		return g.uniformOther(rng, src)
 	case config.BitComplement:
-		return g.mesh.Nodes() - 1 - src
+		if dst := g.mesh.Nodes() - 1 - src; dst != src {
+			return dst
+		}
+		return g.uniformOther(rng, src)
 	case config.Hotspot:
 		frac := g.cfg.HotspotFraction
 		if frac == 0 {

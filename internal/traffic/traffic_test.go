@@ -284,6 +284,14 @@ func TestTransposePattern(t *testing.T) {
 		dst := g.Destination(src)
 		sx, sy := mesh.XY(src)
 		dx, dy := mesh.XY(dst)
+		if sx == sy {
+			// Diagonal nodes transpose onto themselves; the generator
+			// must redraw so the node still offers load.
+			if dst == src {
+				t.Fatalf("transpose diagonal (%d,%d) -> itself", sx, sy)
+			}
+			continue
+		}
 		if dx != sy || dy != sx {
 			t.Fatalf("transpose (%d,%d) -> (%d,%d)", sx, sy, dx, dy)
 		}
@@ -377,5 +385,58 @@ func TestVariableSizeRateAccuracy(t *testing.T) {
 	got := float64(flits) / (cycles * float64(mesh.Nodes()))
 	if math.Abs(got-0.30) > 0.015 {
 		t.Fatalf("variable-size offered load %.4f, want 0.30", got)
+	}
+}
+
+// Every destination pattern must deliver the configured offered load
+// at every node. Fixed permutations self-map some sources (Transpose
+// on the mesh diagonal, Bit-Complement on an odd mesh's center);
+// before the redraw fallback those nodes silently never injected.
+func TestOfferedLoadDeliveredAllPatterns(t *testing.T) {
+	patterns := []struct {
+		name string
+		dest config.DestPattern
+	}{
+		{"normal-random", config.NormalRandom},
+		{"tornado", config.Tornado},
+		{"transpose", config.Transpose},
+		{"bit-complement", config.BitComplement},
+		{"hotspot", config.Hotspot},
+	}
+	meshes := []struct {
+		name          string
+		width, height int
+	}{
+		{"4x4", 4, 4},
+		{"3x3", 3, 3}, // odd: Bit-Complement self-maps the center node
+	}
+	const (
+		rate   = 0.20
+		cycles = 20_000
+	)
+	for _, m := range meshes {
+		for _, pat := range patterns {
+			t.Run(m.name+"/"+pat.name, func(t *testing.T) {
+				cfg := cfgWith(config.UniformRandom, pat.dest, rate, 99)
+				cfg.Width, cfg.Height = m.width, m.height
+				mesh := topology.New(cfg.Width, cfg.Height)
+				g := New(cfg, mesh)
+				perNode := make([]int64, mesh.Nodes())
+				for now := int64(1); now <= cycles; now++ {
+					g.Tick(now, func(src, dst, size int) {
+						if src == dst {
+							t.Fatalf("self-addressed packet at node %d", src)
+						}
+						perNode[src]++
+					})
+				}
+				for node, pkts := range perNode {
+					got := float64(pkts) * float64(cfg.PacketSize) / cycles
+					if math.Abs(got-rate) > 0.03 {
+						t.Fatalf("node %d offered load %.4f, want %.2f ± 0.03", node, got, rate)
+					}
+				}
+			})
+		}
 	}
 }

@@ -31,8 +31,11 @@ import (
 	"fmt"
 	"io"
 
+	"net/http"
+
 	"vichar/internal/config"
 	"vichar/internal/flit"
+	"vichar/internal/metrics"
 	"vichar/internal/network"
 	"vichar/internal/power"
 	"vichar/internal/stats"
@@ -192,6 +195,74 @@ func (s *Simulator) LoadTrace(entries []TraceEntry) error { return s.net.Schedul
 // elapse, returning the number still in flight. Use with
 // InjectionRate zero and manual Inject calls.
 func (s *Simulator) Drain(maxCycles int64) int64 { return s.net.Drain(maxCycles) }
+
+// MetricsSnapshot is a consistent copy of the live metrics registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// FlitEvent is one flit-lifecycle record of the event tracer.
+type FlitEvent = metrics.Event
+
+// MetricsSnapshot copies the live metrics registry (enabled with
+// Config.Metrics or Config.TraceEvents). ok is false when the
+// observability layer is off. Safe to call from any goroutine; during
+// a run the snapshot lags the simulation by at most
+// Config.SampleEvery cycles (Run/Drain flush exactly at their end).
+func (s *Simulator) MetricsSnapshot() (MetricsSnapshot, bool) {
+	reg := s.net.Metrics()
+	if reg == nil {
+		return MetricsSnapshot{}, false
+	}
+	return reg.Snapshot(), true
+}
+
+// FlitEvents returns the retained flit-lifecycle events in recording
+// order (empty without Config.TraceEvents).
+func (s *Simulator) FlitEvents() []FlitEvent {
+	tr := s.net.FlitTracer()
+	if tr == nil {
+		return nil
+	}
+	return tr.Events()
+}
+
+// FlitTimeline reconstructs one packet's retained lifecycle in
+// chronological order (empty without Config.TraceEvents, or when the
+// packet's events have been evicted from the bounded ring).
+func (s *Simulator) FlitTimeline(packet uint64) []FlitEvent {
+	tr := s.net.FlitTracer()
+	if tr == nil {
+		return nil
+	}
+	return tr.Timeline(packet)
+}
+
+// WriteFlitEventsJSONL writes the retained flit events as one JSON
+// object per line.
+func (s *Simulator) WriteFlitEventsJSONL(w io.Writer) error {
+	tr := s.net.FlitTracer()
+	if tr == nil {
+		return nil
+	}
+	return tr.WriteJSONL(w)
+}
+
+// MetricsHandler returns an http.Handler serving the live registry in
+// the Prometheus text format at "/" and, when tracing is enabled, the
+// retained flit events as JSONL at "/trace". nil when the
+// observability layer is off. The handler is safe to serve from
+// another goroutine while the simulation is stepping.
+func (s *Simulator) MetricsHandler() http.Handler {
+	reg := s.net.Metrics()
+	if reg == nil {
+		return nil
+	}
+	return metrics.Handler(reg, s.net.FlitTracer())
+}
+
+// FlushMetrics forces an observability commit outside the sampling
+// cadence; call it from the goroutine driving Step before reading an
+// exact mid-run snapshot.
+func (s *Simulator) FlushMetrics() { s.net.FlushMetrics() }
 
 // Run is the one-shot convenience API: validate, simulate, annotate.
 func Run(cfg Config) (Results, error) {
