@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-kernel race-obs shape bench bench-kernel bench-obs experiments paper synth examples clean
+.PHONY: all build vet lint test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -37,6 +37,27 @@ race-kernel:
 race-obs:
 	$(GO) test -race ./internal/metrics/
 	$(GO) test -race ./internal/network/ -run 'TestMetrics|TestFlit|TestWorkersBitIdentical'
+
+# The fault-injection subsystem under the race detector: the fault
+# plan, the faulted link/router paths in the kernel, and the faulted
+# bit-identical-workers contract.
+race-faults:
+	$(GO) test -race ./internal/faults/ ./internal/routing/
+	$(GO) test -race ./internal/network/ -run 'TestHardLinkFailure|TestTransientFault|TestScheduledStall|TestWorkersBitIdentical'
+
+# Coverage floor for the simulator proper (commands and examples are
+# thin shells and excluded). CI fails if total statement coverage
+# drops below COVER_FLOOR.
+COVER_FLOOR ?= 75.0
+COVER_PKGS = . ./internal/... ./experiments/...
+
+cover:
+	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
+		printf "coverage %.1f%% meets the %.1f%% floor\n", t, floor }'
 
 # Just the statistical assertions of the paper's claims.
 shape:
@@ -77,4 +98,4 @@ examples:
 	$(GO) run ./examples/tracereplay
 
 clean:
-	rm -rf results results-paper test_output.txt bench_output.txt
+	rm -rf results results-paper test_output.txt bench_output.txt coverage.out

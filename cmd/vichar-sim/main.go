@@ -25,30 +25,33 @@ func main() {
 	log.SetPrefix("vichar-sim: ")
 
 	var (
-		arch     = flag.String("arch", "vichar", "buffer architecture: generic|vichar|damq|fccb")
-		width    = flag.Int("width", 8, "mesh width")
-		height   = flag.Int("height", 8, "mesh height")
-		vcs      = flag.Int("vcs", 4, "virtual channels per port (fixed-VC schemes; design v for ViChaR)")
-		depth    = flag.Int("depth", 4, "per-VC FIFO depth k (generic)")
-		slots    = flag.Int("slots", 0, "buffer slots per port (default vcs*depth)")
-		rate     = flag.Float64("rate", 0.25, "injection rate, flits/node/cycle")
-		traffic  = flag.String("traffic", "ur", "traffic process: ur|ss")
-		dest     = flag.String("dest", "nr", "destination pattern: nr|tornado|transpose|bitcomplement|hotspot")
-		routing  = flag.String("routing", "xy", "routing: xy|adaptive")
-		torus    = flag.Bool("torus", false, "wrap the mesh into a torus (requires escape VCs; enabled automatically)")
-		warmup   = flag.Int("warmup", 10_000, "warm-up packets (ejected)")
-		measure  = flag.Int("measure", 30_000, "measured packets (ejected)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		series   = flag.Bool("vc-series", false, "print the in-use VC time series")
-		grid     = flag.Bool("vc-grid", false, "print the per-node in-use VC grid")
-		jsonOut  = flag.Bool("json", false, "print results as JSON instead of text")
-		spec     = flag.Bool("speculative", false, "use the speculative 3-stage router pipeline")
-		pktMax   = flag.Int("packet-max", 0, "maximum packet size for variable-size packets (0 = fixed)")
-		traceIn  = flag.String("replay-trace", "", "replay a recorded packet trace instead of generated traffic")
-		traceOut = flag.String("record-trace", "", "record the packet workload to this file")
-		confIn   = flag.String("config", "", "load the full configuration from a JSON file (other config flags are ignored)")
-		confOut  = flag.String("save-config", "", "write the resolved configuration as JSON and exit")
-		workers  = flag.Int("workers", 0, "cycle-kernel worker goroutines; 0/1 = serial, results identical at any setting")
+		arch      = flag.String("arch", "vichar", "buffer architecture: generic|vichar|damq|fccb")
+		width     = flag.Int("width", 8, "mesh width")
+		height    = flag.Int("height", 8, "mesh height")
+		vcs       = flag.Int("vcs", 4, "virtual channels per port (fixed-VC schemes; design v for ViChaR)")
+		depth     = flag.Int("depth", 4, "per-VC FIFO depth k (generic)")
+		slots     = flag.Int("slots", 0, "buffer slots per port (default vcs*depth)")
+		rate      = flag.Float64("rate", 0.25, "injection rate, flits/node/cycle")
+		traffic   = flag.String("traffic", "ur", "traffic process: ur|ss")
+		dest      = flag.String("dest", "nr", "destination pattern: nr|tornado|transpose|bitcomplement|hotspot")
+		routing   = flag.String("routing", "xy", "routing: xy|adaptive")
+		torus     = flag.Bool("torus", false, "wrap the mesh into a torus (requires escape VCs; enabled automatically)")
+		warmup    = flag.Int("warmup", 10_000, "warm-up packets (ejected)")
+		measure   = flag.Int("measure", 30_000, "measured packets (ejected)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		series    = flag.Bool("vc-series", false, "print the in-use VC time series")
+		grid      = flag.Bool("vc-grid", false, "print the per-node in-use VC grid")
+		jsonOut   = flag.Bool("json", false, "print results as JSON instead of text")
+		spec      = flag.Bool("speculative", false, "use the speculative 3-stage router pipeline")
+		pktMax    = flag.Int("packet-max", 0, "maximum packet size for variable-size packets (0 = fixed)")
+		traceIn   = flag.String("replay-trace", "", "replay a recorded packet trace instead of generated traffic")
+		traceOut  = flag.String("record-trace", "", "record the packet workload to this file")
+		confIn    = flag.String("config", "", "load the full configuration from a JSON file (other config flags are ignored)")
+		confOut   = flag.String("save-config", "", "write the resolved configuration as JSON and exit")
+		workers   = flag.Int("workers", 0, "cycle-kernel worker goroutines; 0/1 = serial, results identical at any setting")
+		faultSpec = flag.String("faults", "",
+			"fault model spec: seed=N,drop=R,corrupt=R,retx=N,stall=R[:N],kill=NODE.PORT@CYC,freeze=NODE.PORT@CYC+N,drop1=NODE.PORT@CYC")
+		auditOn = flag.Bool("audit", false, "run the per-cycle invariant auditor (slow; catches conservation bugs)")
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live Prometheus-text metrics at this address (/metrics, /trace, /debug/pprof/); implies -metrics")
@@ -115,6 +118,16 @@ func main() {
 
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *faultSpec != "" {
+		faults, err := vichar.ParseFaults(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = faults
+	}
+	if *auditOn {
+		cfg.Audit = true
 	}
 	if *traceJSONL != "" && *traceCap == 0 {
 		*traceCap = 1 << 16
@@ -219,6 +232,11 @@ func main() {
 	fmt.Printf("network power : %.3f W\n", res.AvgPowerWatts)
 	fmt.Printf("packets       : %d measured / %d ejected over %d cycles\n",
 		res.MeasuredPackets, res.EjectedPackets, res.TotalCycles)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("faults        : %d drops, %d corrupts, %d retransmits, %d stall cycles, %d escape reroutes\n",
+			res.Counters.FlitDrops, res.Counters.FlitCorrupts, res.Counters.Retransmits,
+			res.Counters.StallCycles, res.Counters.EscapeReroutes)
+	}
 	if res.Saturated {
 		fmt.Println("NOTE          : run hit its cycle cap (network saturated at this load)")
 	}

@@ -400,8 +400,8 @@ func TestExtrasWellFormed(t *testing.T) {
 			t.Errorf("extra %q not reachable via ByID", e.ID)
 		}
 	}
-	if len(Extras()) != 3 {
-		t.Errorf("expected 3 extras, got %d", len(Extras()))
+	if len(Extras()) != 4 {
+		t.Errorf("expected 4 extras, got %d", len(Extras()))
 	}
 }
 

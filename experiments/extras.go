@@ -4,9 +4,10 @@ import "vichar"
 
 // Extras returns experiments beyond the paper's own artifacts: the
 // extension features this library adds (speculative pipeline, hotspot
-// traffic, variable-size packets) evaluated with the same harness.
+// traffic, variable-size packets, fault resilience) evaluated with
+// the same harness.
 func Extras() []*Experiment {
-	return []*Experiment{ExtSpeculative(), ExtHotspot(), ExtVariablePackets()}
+	return []*Experiment{ExtSpeculative(), ExtHotspot(), ExtVariablePackets(), ExtResilience()}
 }
 
 // ExtSpeculative compares the baseline 4-stage router against the

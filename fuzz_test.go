@@ -1,0 +1,67 @@
+package vichar_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vichar"
+)
+
+// FuzzParse throws arbitrary strings at every text-parsing entry
+// point of the public API: the enum parsers, the -faults grammar and
+// the JSON config loader. Beyond not panicking, accepted inputs must
+// uphold the parsers' contracts — enum values round-trip through
+// their String form, parsed fault specs survive validation without
+// crashing, and a loaded config re-saves and re-loads to an
+// identical value.
+func FuzzParse(f *testing.F) {
+	f.Add("vichar")
+	f.Add("seed=9,drop=0.001,corrupt=0.0005,retx=6,stall=0.01:12")
+	f.Add("kill=5.e@100,freeze=3.w@50+8,drop1=0.1@20")
+	f.Add(`{"Width": 8, "Height": 8, "Arch": "vichar"}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		if arch, err := vichar.ParseBufferArch(s); err == nil {
+			if back, err := vichar.ParseBufferArch(arch.String()); err != nil || back != arch {
+				t.Fatalf("BufferArch %q -> %v did not round-trip (%v, %v)", s, arch, back, err)
+			}
+		}
+		if alg, err := vichar.ParseRouting(s); err == nil {
+			if back, err := vichar.ParseRouting(alg.String()); err != nil || back != alg {
+				t.Fatalf("RoutingAlg %q -> %v did not round-trip (%v, %v)", s, alg, back, err)
+			}
+		}
+		if tp, err := vichar.ParseTraffic(s); err == nil {
+			if back, err := vichar.ParseTraffic(tp.String()); err != nil || back != tp {
+				t.Fatalf("TrafficProcess %q -> %v did not round-trip (%v, %v)", s, tp, back, err)
+			}
+		}
+		if dp, err := vichar.ParseDest(s); err == nil {
+			if back, err := vichar.ParseDest(dp.String()); err != nil || back != dp {
+				t.Fatalf("DestPattern %q -> %v did not round-trip (%v, %v)", s, dp, back, err)
+			}
+		}
+		if faults, err := vichar.ParseFaults(s); err == nil {
+			// A parsed spec plugs into a config and validates without
+			// panicking; rejection (node off the mesh, etc.) is fine.
+			cfg := vichar.DefaultConfig()
+			cfg.Routing = vichar.MinimalAdaptive
+			cfg.Faults = faults
+			_ = cfg.Validate()
+		}
+		if cfg, err := vichar.LoadConfig(strings.NewReader(s)); err == nil {
+			var buf bytes.Buffer
+			if err := vichar.SaveConfig(&buf, cfg); err != nil {
+				t.Fatalf("loaded config failed to save: %v", err)
+			}
+			again, err := vichar.LoadConfig(&buf)
+			if err != nil {
+				t.Fatalf("saved config failed to re-load: %v", err)
+			}
+			if !reflect.DeepEqual(cfg, again) {
+				t.Fatalf("config did not round-trip:\n%+v\n%+v", cfg, again)
+			}
+		}
+	})
+}

@@ -111,13 +111,30 @@ type LinkState struct {
 	DownstreamOccupied int
 	// InFlightCredits counts credits on the reverse channel.
 	InFlightCredits int
+	// RetxHeld counts flits parked in the link's retransmission
+	// buffer (0 or 1): the declared-fault term that lets the auditor
+	// distinguish a flit a fault is holding from a flit the simulator
+	// leaked. Always 0 without Config.Faults.
+	RetxHeld int
 }
 
 // CheckLink verifies the credit-conservation equation for one link.
 func CheckLink(s LinkState) error {
-	if got := s.InFlightFlits + s.DownstreamOccupied + s.InFlightCredits; got != s.Outstanding {
-		return fmt.Errorf("audit: link %s credit conservation broken: view outstanding %d, accounted %d (%d in flight + %d buffered + %d credits)",
-			s.Name, s.Outstanding, got, s.InFlightFlits, s.DownstreamOccupied, s.InFlightCredits)
+	if got := s.InFlightFlits + s.DownstreamOccupied + s.InFlightCredits + s.RetxHeld; got != s.Outstanding {
+		return fmt.Errorf("audit: link %s credit conservation broken: view outstanding %d, accounted %d (%d in flight + %d buffered + %d credits + %d held for retransmit)",
+			s.Name, s.Outstanding, got, s.InFlightFlits, s.DownstreamOccupied, s.InFlightCredits, s.RetxHeld)
+	}
+	return nil
+}
+
+// CheckLinkFaults verifies declared-fault conservation on one link:
+// every dropped or corrupted flit must either have been retransmitted
+// or still sit in the retransmission buffer. An imbalance means the
+// fault layer lost a flit instead of recovering it.
+func CheckLinkFaults(name string, drops, corrupts, retransmits uint64, held int) error {
+	if drops+corrupts != retransmits+uint64(held) {
+		return fmt.Errorf("audit: link %s fault accounting broken: %d drops + %d corrupts != %d retransmits + %d held",
+			name, drops, corrupts, retransmits, held)
 	}
 	return nil
 }

@@ -268,6 +268,15 @@ type Config struct {
 	// departure).
 	DAMQDelay int
 
+	// Faults schedules the deterministic fault model (internal/faults):
+	// seed-driven transient link faults recovered by per-link
+	// retransmission buffers, router port stalls, and scheduled hard
+	// link failures routed around by a fault-aware escape tree. The
+	// zero value injects nothing. Fault placement is a pure function of
+	// Faults.Seed and the faulted resource, so results remain
+	// bit-identical at every Workers setting.
+	Faults FaultsConfig
+
 	// SampleEvery is the stats sampling period, in cycles, for the
 	// time-series metrics (buffer occupancy, in-use VC counts).
 	SampleEvery int64
@@ -430,7 +439,7 @@ func (c *Config) Validate() error {
 	if c.Arch == DAMQ && c.DAMQDelay < 0 {
 		return fmt.Errorf("config: DAMQ delay cannot be negative, got %d", c.DAMQDelay)
 	}
-	return nil
+	return c.Faults.validate(c)
 }
 
 // Label returns a compact identifier such as "ViC-16" or "GEN-16"

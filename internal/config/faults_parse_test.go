@@ -1,0 +1,191 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vichar/internal/topology"
+)
+
+func TestParseFaults(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FaultsConfig
+	}{
+		{"", FaultsConfig{}},
+		{"off", FaultsConfig{}},
+		{"none", FaultsConfig{}},
+		{"seed=9,drop=0.001,corrupt=0.0005,retx=6", FaultsConfig{
+			Seed: 9, DropRate: 0.001, CorruptRate: 0.0005, RetransmitDelay: 6,
+		}},
+		{"stall=0.01", FaultsConfig{StallRate: 0.01}},
+		{"stall=0.01:12", FaultsConfig{StallRate: 0.01, StallCycles: 12}},
+		{"kill=5.e@100", FaultsConfig{Events: []FaultEvent{
+			{Cycle: 100, Kind: KillLink, Node: 5, Port: topology.East},
+		}}},
+		{"freeze=3.w@50+8", FaultsConfig{Events: []FaultEvent{
+			{Cycle: 50, Kind: StallPort, Node: 3, Port: topology.West, Cycles: 8},
+		}}},
+		{"drop1=0.1@20", FaultsConfig{Events: []FaultEvent{
+			{Cycle: 20, Kind: DropFlit, Node: 0, Port: topology.East},
+		}}},
+		{"drop=0.01, kill=1.n@10, freeze=2.l@5+3", FaultsConfig{
+			DropRate: 0.01,
+			Events: []FaultEvent{
+				{Cycle: 10, Kind: KillLink, Node: 1, Port: topology.North},
+				{Cycle: 5, Kind: StallPort, Node: 2, Port: topology.Local, Cycles: 3},
+			},
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParseFaults(c.in)
+		if err != nil {
+			t.Errorf("ParseFaults(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseFaults(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus",                // not key=value
+		"warp=0.1",             // unknown clause
+		"drop=high",            // bad float
+		"seed=1.5",             // bad int
+		"stall=0.1:soon",       // bad duration
+		"kill=5.e",             // missing @cycle
+		"kill=5@100",           // missing port
+		"kill=x.e@100",         // bad node
+		"kill=5.q@100",         // bad port name
+		"kill=5.9@100",         // port index out of range
+		"kill=5.e@then",        // bad cycle
+		"kill=5.e@100+4",       // duration on a non-freeze
+		"freeze=5.e@100",       // freeze without duration
+		"freeze=5.e@100+later", // bad freeze duration
+	} {
+		if _, err := ParseFaults(in); err == nil {
+			t.Errorf("ParseFaults(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestFaultKindText(t *testing.T) {
+	for _, k := range []FaultKind{KillLink, StallPort, DropFlit} {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back FaultKind
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("%v did not round-trip (got %v)", k, back)
+		}
+	}
+	var k FaultKind
+	if err := k.UnmarshalText([]byte("meltdown")); err == nil {
+		t.Error("unknown kind unmarshalled without error")
+	}
+	if got := FaultKind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestFaultsValidate(t *testing.T) {
+	base := func() Config {
+		c := Default()
+		c.Width, c.Height = 4, 4
+		c.Routing = MinimalAdaptive
+		return c
+	}
+	ok := []func(*Config){
+		func(c *Config) { c.Faults.DropRate = 0.5; c.Faults.CorruptRate = 0.5 },
+		func(c *Config) {
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.East}}
+		},
+		func(c *Config) {
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: StallPort, Node: 0, Port: topology.Local, Cycles: 2}}
+		},
+	}
+	for i, mutate := range ok {
+		c := base()
+		mutate(&c)
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid fault config %d rejected: %v", i, err)
+		}
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Faults.DropRate = -0.1 },
+		func(c *Config) { c.Faults.CorruptRate = 1.5 },
+		func(c *Config) { c.Faults.DropRate = 0.7; c.Faults.CorruptRate = 0.7 },
+		func(c *Config) { c.Faults.StallRate = 2 },
+		func(c *Config) { c.Faults.RetransmitDelay = -1 },
+		func(c *Config) { c.Faults.StallCycles = -1 },
+		func(c *Config) {
+			c.Faults.Events = []FaultEvent{{Cycle: 0, Kind: DropFlit, Node: 0, Port: topology.East}}
+		},
+		func(c *Config) {
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: DropFlit, Node: 99, Port: topology.East}}
+		},
+		func(c *Config) {
+			// StallPort with a zero duration.
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: StallPort, Node: 0, Port: 0}}
+		},
+		func(c *Config) {
+			// KillLink through the local port.
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.Local}}
+		},
+		func(c *Config) {
+			// Node 0 has no link to the north (mesh edge).
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.North}}
+		},
+		func(c *Config) {
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: FaultKind(9), Node: 0, Port: 0}}
+		},
+		func(c *Config) {
+			// Hard faults demand adaptive routing.
+			c.Routing = XY
+			c.Faults.Events = []FaultEvent{{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.East}}
+		},
+		func(c *Config) {
+			// Cutting both links of corner node 0 disconnects the mesh.
+			c.Faults.Events = []FaultEvent{
+				{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.East},
+				{Cycle: 1, Kind: KillLink, Node: 0, Port: topology.South},
+			}
+		},
+	}
+	for i, mutate := range bad {
+		c := base()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid fault config %d accepted", i)
+		}
+	}
+}
+
+func TestFaultsEffectiveDefaults(t *testing.T) {
+	var f FaultsConfig
+	if f.Enabled() {
+		t.Error("zero-value FaultsConfig reports enabled")
+	}
+	if got := f.EffectiveRetransmitDelay(); got != 4 {
+		t.Errorf("default retransmit delay = %d, want 4", got)
+	}
+	if got := f.EffectiveStallCycles(); got != 8 {
+		t.Errorf("default stall cycles = %d, want 8", got)
+	}
+	f.RetransmitDelay, f.StallCycles = 2, 3
+	if f.EffectiveRetransmitDelay() != 2 || f.EffectiveStallCycles() != 3 {
+		t.Error("explicit delays not honored")
+	}
+	f.StallRate = 0.1
+	if !f.Enabled() {
+		t.Error("stall-rate-only config reports disabled")
+	}
+}

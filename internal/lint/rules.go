@@ -39,6 +39,7 @@ var deterministicPkgs = map[string]bool{
 	"buffers": true,
 	"routing": true,
 	"metrics": true,
+	"faults":  true,
 }
 
 // Diagnostic is one rule violation.

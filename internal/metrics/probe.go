@@ -16,6 +16,7 @@ type RouterProbe struct {
 	bufWrite    []CounterID // per input port
 	bufRead     []CounterID // per input port
 	creditStall []CounterID // per output port
+	portStall   []CounterID // per input port (fault-model stalls)
 	rc          CounterID
 	vaOps       CounterID
 	vaGrants    CounterID
@@ -24,6 +25,7 @@ type RouterProbe struct {
 	saGrants    CounterID
 	saDenials   CounterID
 	xbar        CounterID
+	reroutes    CounterID
 }
 
 // NewRouterProbe registers the router's counter series on rec.
@@ -40,6 +42,8 @@ func NewRouterProbe(rec *Recorder, node int, portNames []string) *RouterProbe {
 			"Flit reads out of router input buffers.", rl))
 		p.creditStall = append(p.creditStall, rec.Counter("vichar_credit_stalls_total",
 			"Cycles an active VC held a ready flit but lacked downstream credit.", rl))
+		p.portStall = append(p.portStall, rec.Counter("vichar_port_stall_cycles_total",
+			"Cycles an input port's control logic was frozen by a fault-model stall.", rl))
 	}
 	l := Labels{{"router", r}}
 	p.rc = rec.Counter("vichar_rc_total", "Head flits routed (route computation).", l)
@@ -50,7 +54,26 @@ func NewRouterProbe(rec *Recorder, node int, portNames []string) *RouterProbe {
 	p.saGrants = rec.Counter("vichar_sa_grants_total", "Crossbar passages granted by the switch allocator.", l)
 	p.saDenials = rec.Counter("vichar_sa_denials_total", "Switch allocation requests denied this cycle.", l)
 	p.xbar = rec.Counter("vichar_xbar_traversals_total", "Flits through the crossbar.", l)
+	p.reroutes = rec.Counter("vichar_escape_reroutes_total",
+		"Packets re-channelled onto the escape network after the deadlock threshold.", l)
 	return p
+}
+
+// PortStall records one cycle input port spent frozen by a
+// fault-model stall.
+func (p *RouterProbe) PortStall(port int) {
+	if p == nil {
+		return
+	}
+	p.rec.Inc(p.portStall[port])
+}
+
+// EscapeReroute records one packet re-channelled onto an escape VC.
+func (p *RouterProbe) EscapeReroute() {
+	if p == nil {
+		return
+	}
+	p.rec.Inc(p.reroutes)
 }
 
 // BufferWrite records a flit written into input port's buffer.
@@ -234,6 +257,58 @@ func (p *LinkProbe) Deliver(cycle int64, packet uint64, flit, vc int) {
 		Cycle: cycle, Kind: EvLink, Packet: packet, Flit: flit,
 		Node: p.node, Port: p.port, VC: vc,
 	})
+}
+
+// LinkFaultProbe instruments the fault model of one inter-router
+// link: drops, corruptions and retransmissions. Like LinkProbe it
+// writes on the receiving router's recorder (the link ticks in the
+// receiver's shard). Created only when Config.Faults is enabled, so
+// fault-free runs register no fault series.
+type LinkFaultProbe struct {
+	rec     *Recorder
+	dropped CounterID
+	corrupt CounterID
+	retrans CounterID
+}
+
+// NewLinkFaultProbe registers the link's fault counters on the
+// receiver's recorder. from/to are router IDs; portName labels the
+// sender's output port.
+func NewLinkFaultProbe(rec *Recorder, from, to int, portName string) *LinkFaultProbe {
+	l := Labels{
+		{"from", strconv.Itoa(from)},
+		{"to", strconv.Itoa(to)},
+		{"port", portName},
+	}
+	return &LinkFaultProbe{
+		rec: rec,
+		dropped: rec.Counter("vichar_link_flits_dropped_total",
+			"Flits lost on a link by the fault model.", l),
+		corrupt: rec.Counter("vichar_link_flits_corrupted_total",
+			"Flits failing their CRC at the receiver under the fault model.", l),
+		retrans: rec.Counter("vichar_link_retransmits_total",
+			"Flits re-sent from a link's retransmission buffer.", l),
+	}
+}
+
+// Fault records one dropped (or, when corrupt, corrupted) flit.
+func (p *LinkFaultProbe) Fault(corrupt bool) {
+	if p == nil {
+		return
+	}
+	if corrupt {
+		p.rec.Inc(p.corrupt)
+		return
+	}
+	p.rec.Inc(p.dropped)
+}
+
+// Retransmit records one flit re-sent from the retransmission buffer.
+func (p *LinkFaultProbe) Retransmit() {
+	if p == nil {
+		return
+	}
+	p.rec.Inc(p.retrans)
 }
 
 // NetProbe instruments the network's serial phase: packet creation

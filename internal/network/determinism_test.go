@@ -73,45 +73,70 @@ func TestWorkersBitIdentical(t *testing.T) {
 		parallel = 4
 	}
 	for _, arch := range allArchs {
-		arch := arch
-		t.Run(arch.String(), func(t *testing.T) {
-			run := func(workers int) (stats.Results, []int64, metrics.Snapshot, []metrics.Event) {
-				cfg := config.Default()
-				cfg.Width, cfg.Height = 4, 4
-				cfg.Arch = arch
-				cfg.InjectionRate = 0.3
-				cfg.WarmupPackets = 50
-				cfg.MeasurePackets = 300
-				cfg.Seed = 4242
-				cfg.Audit = true
-				cfg.Workers = workers
-				cfg.Metrics = true
-				cfg.TraceEvents = 4096
-				n := New(&cfg)
-				defer n.Close()
-				res := n.Run()
-				return res, n.Collector().Latencies(), n.Metrics().Snapshot(), n.FlitTracer().Events()
+		for _, faulty := range []bool{false, true} {
+			arch, faulty := arch, faulty
+			name := arch.String()
+			if faulty {
+				name += "-faults"
 			}
-			r1, l1, s1, e1 := run(1)
-			rN, lN, sN, eN := run(parallel)
-			if !reflect.DeepEqual(r1, rN) {
-				t.Fatalf("Workers=1 vs Workers=%d diverged in results:\n%+v\n%+v", parallel, r1, rN)
-			}
-			if len(l1) != len(lN) {
-				t.Fatalf("Workers=1 vs Workers=%d measured %d vs %d packets", parallel, len(l1), len(lN))
-			}
-			for i := range l1 {
-				if l1[i] != lN[i] {
-					t.Fatalf("Workers=1 vs Workers=%d diverged at packet %d: latency %d vs %d", parallel, i, l1[i], lN[i])
+			t.Run(name, func(t *testing.T) {
+				run := func(workers int) (stats.Results, []int64, metrics.Snapshot, []metrics.Event) {
+					cfg := config.Default()
+					cfg.Width, cfg.Height = 4, 4
+					cfg.Arch = arch
+					cfg.InjectionRate = 0.3
+					cfg.WarmupPackets = 50
+					cfg.MeasurePackets = 300
+					cfg.Seed = 4242
+					cfg.Audit = true
+					cfg.Workers = workers
+					cfg.Metrics = true
+					cfg.TraceEvents = 4096
+					if faulty {
+						// Transient faults and stalls on every link class,
+						// plus scheduled events: the fault layer's state
+						// (retransmission buffers, stall windows, hash
+						// rolls) must shard as cleanly as the rest.
+						cfg.Faults = config.FaultsConfig{
+							Seed:        99,
+							DropRate:    0.002,
+							CorruptRate: 0.001,
+							StallRate:   0.0005,
+							Events: []config.FaultEvent{
+								{Cycle: 40, Kind: config.DropFlit, Node: 5, Port: 1},
+								{Cycle: 60, Kind: config.StallPort, Node: 10, Port: 0, Cycles: 9},
+							},
+						}
+					}
+					n := New(&cfg)
+					defer n.Close()
+					res := n.Run()
+					return res, n.Collector().Latencies(), n.Metrics().Snapshot(), n.FlitTracer().Events()
 				}
-			}
-			if !reflect.DeepEqual(s1, sN) {
-				t.Fatalf("Workers=1 vs Workers=%d diverged in metrics registry state", parallel)
-			}
-			if !reflect.DeepEqual(e1, eN) {
-				t.Fatalf("Workers=1 vs Workers=%d diverged in the flit event stream (%d vs %d events)", parallel, len(e1), len(eN))
-			}
-		})
+				r1, l1, s1, e1 := run(1)
+				rN, lN, sN, eN := run(parallel)
+				if !reflect.DeepEqual(r1, rN) {
+					t.Fatalf("Workers=1 vs Workers=%d diverged in results:\n%+v\n%+v", parallel, r1, rN)
+				}
+				if len(l1) != len(lN) {
+					t.Fatalf("Workers=1 vs Workers=%d measured %d vs %d packets", parallel, len(l1), len(lN))
+				}
+				for i := range l1 {
+					if l1[i] != lN[i] {
+						t.Fatalf("Workers=1 vs Workers=%d diverged at packet %d: latency %d vs %d", parallel, i, l1[i], lN[i])
+					}
+				}
+				if !reflect.DeepEqual(s1, sN) {
+					t.Fatalf("Workers=1 vs Workers=%d diverged in metrics registry state", parallel)
+				}
+				if !reflect.DeepEqual(e1, eN) {
+					t.Fatalf("Workers=1 vs Workers=%d diverged in the flit event stream (%d vs %d events)", parallel, len(e1), len(eN))
+				}
+				if faulty && r1.Counters.FlitDrops+r1.Counters.FlitCorrupts == 0 {
+					t.Fatal("faulty run recorded no drops or corruptions: fault rates not applied")
+				}
+			})
+		}
 	}
 }
 

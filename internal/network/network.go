@@ -26,9 +26,11 @@ import (
 	"vichar/internal/audit"
 	"vichar/internal/buffers"
 	"vichar/internal/config"
+	"vichar/internal/faults"
 	"vichar/internal/flit"
 	"vichar/internal/metrics"
 	"vichar/internal/router"
+	"vichar/internal/routing"
 	"vichar/internal/stats"
 	"vichar/internal/topology"
 	"vichar/internal/trace"
@@ -48,6 +50,13 @@ type flitLink struct {
 	deliver func(f *flit.Flit, now int64)
 	q       []timedFlit
 	head    int
+
+	// faults is the link's fault-model state (retransmission buffer,
+	// scheduled drops); nil without Config.Faults, which keeps the
+	// fault-free tick path identical to the seed's. fprobe mirrors
+	// fault activity into the observability layer (nil-safe).
+	faults *faults.LinkState
+	fprobe *metrics.LinkFaultProbe
 }
 
 // SendFlit enqueues f for delivery delay cycles from now.
@@ -57,11 +66,49 @@ func (l *flitLink) SendFlit(f *flit.Flit, now int64) {
 
 // tick delivers every flit due at or before now.
 func (l *flitLink) tick(now int64) {
+	if l.faults != nil {
+		l.tickFaulty(now)
+		return
+	}
 	for l.head < len(l.q) && l.q[l.head].at <= now {
 		tf := l.q[l.head]
 		l.q[l.head] = timedFlit{}
 		l.head++
 		l.deliver(tf.f, now)
+	}
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	}
+}
+
+// tickFaulty is the fault-model delivery path: each due flit's fate
+// is rolled per attempt; a dropped or corrupted flit moves into the
+// link's single-flit retransmission buffer and blocks the flits
+// behind it until re-sent (preserving wormhole order), and a
+// retransmission attempt may itself be faulted. The held flit stays
+// inside the link's credit accounting as the RetxHeld audit term.
+func (l *flitLink) tickFaulty(now int64) {
+	s := l.faults
+	if s.HeldDue(now) {
+		l.fprobe.Retransmit()
+		if out := s.Attempt(now); out == faults.Deliver {
+			l.deliver(s.Release(), now)
+		} else {
+			s.Rearm(now)
+			l.fprobe.Fault(out == faults.Corrupt)
+		}
+	}
+	for l.head < len(l.q) && l.q[l.head].at <= now && !s.Blocked() {
+		tf := l.q[l.head]
+		l.q[l.head] = timedFlit{}
+		l.head++
+		if out := s.Attempt(now); out == faults.Deliver {
+			l.deliver(tf.f, now)
+		} else {
+			s.Hold(tf.f, now)
+			l.fprobe.Fault(out == faults.Corrupt)
+		}
 	}
 	if l.head == len(l.q) {
 		l.q = l.q[:0]
@@ -118,6 +165,10 @@ type auditedLink struct {
 	cl   *creditLink
 	buf  buffers.Buffer
 }
+
+// retxHeld returns the link's declared-fault conservation term: the
+// flit count parked in its retransmission buffer.
+func (al *auditedLink) retxHeld() int { return al.fl.faults.Held() }
 
 // ni is one network interface: the packet source queue feeding the
 // router's local input port. It mirrors the local input port's buffer
@@ -222,6 +273,13 @@ type Network struct {
 	auditStates  [][]audit.LinkState
 	auditErrs    []error
 
+	// fplan is the compiled fault schedule (nil without Config.Faults);
+	// faultLinks collects every inter-router link's fault state so
+	// totalCounters can fold drop/corrupt/retransmit tallies into the
+	// run's Counters.
+	fplan      *faults.Plan
+	faultLinks []*faults.LinkState
+
 	gen       *traffic.Generator
 	collector *stats.Collector
 
@@ -313,6 +371,31 @@ func New(cfg *config.Config) *Network {
 		n.routers[id] = router.New(id, cfg, mesh)
 	}
 
+	// Fault model: compile the schedule (nil when disabled), hand each
+	// router its stall/dead-link state, and — when links are scheduled
+	// to die — switch every router's escape routing to the up*/down*
+	// tree over the links that survive the whole run (planned-outage
+	// model, see routing.EscapeTree). Validate guarantees the surviving
+	// links still connect the mesh, so tree construction cannot fail.
+	n.fplan = faults.NewPlan(cfg)
+	if n.fplan != nil {
+		for id, r := range n.routers {
+			r.SetFaults(n.fplan.Router(id))
+		}
+		if n.fplan.HasHardFaults() {
+			tree, err := routing.NewEscapeTree(mesh, func(node, port int) bool {
+				return !n.fplan.LinkEverDead(node, port)
+			})
+			if err != nil {
+				//vichar:invariant Config.Validate rejects fault schedules that disconnect the mesh
+				panic(fmt.Sprintf("network: %v", err))
+			}
+			for _, r := range n.routers {
+				r.SetEscapeTree(tree)
+			}
+		}
+	}
+
 	// Observability layer: one recorder per node (written only by the
 	// shard that owns the node) plus one for the serial phase, built
 	// before link wiring so deliver closures can capture link probes.
@@ -362,8 +445,17 @@ func New(cfg *config.Config) *Network {
 			// Delivery mutates the downstream router's input buffer
 			// (and this link's own flit counter), so the link belongs
 			// to the receiver's deliver-phase plan — and its probe
-			// writes on the receiver's recorder.
+			// writes on the receiver's recorder. The same ownership
+			// covers the link's fault state: only the receiver's shard
+			// ticks it.
 			fl := &flitLink{delay: router.FlitDelay}
+			if fs := n.fplan.Link(id, port); fs != nil {
+				fl.faults = fs
+				n.faultLinks = append(n.faultLinks, fs)
+				if n.obs != nil {
+					fl.fprobe = metrics.NewLinkFaultProbe(n.obs.recs[1+nb], id, nb, topology.PortName(port))
+				}
+			}
 			if n.obs != nil {
 				lp := metrics.NewLinkProbe(n.obs.recs[1+nb], id, nb, inPort, topology.PortName(port))
 				fl.deliver = func(f *flit.Flit, now int64) {
@@ -568,6 +660,11 @@ func (n *Network) totalCounters() stats.Counters {
 	for _, f := range n.linkFlits {
 		c.LinkTraversals += f
 	}
+	for _, fs := range n.faultLinks {
+		c.FlitDrops += fs.Drops
+		c.FlitCorrupts += fs.Corrupts
+		c.Retransmits += fs.Retransmits
+	}
 	return c
 }
 
@@ -706,10 +803,23 @@ func (n *Network) audit(now int64) {
 				InFlightFlits:      al.fl.inflight(),
 				DownstreamOccupied: al.buf.Occupied(),
 				InFlightCredits:    al.cl.inflight(),
+				RetxHeld:           al.retxHeld(),
 			})
 		}
 		n.auditStates[shard] = states
 		errs[shard] = audit.CheckLinks(states)
+		if errs[shard] == nil {
+			for _, al := range n.auditedLinks[lo:hi] {
+				fs := al.fl.faults
+				if fs == nil {
+					continue
+				}
+				if err := audit.CheckLinkFaults(al.name, fs.Drops, fs.Corrupts, fs.Retransmits, fs.Held()); err != nil {
+					errs[shard] = err
+					break
+				}
+			}
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"vichar/internal/buffers"
 	"vichar/internal/config"
 	"vichar/internal/core"
+	"vichar/internal/faults"
 	"vichar/internal/flit"
 	"vichar/internal/metrics"
 	"vichar/internal/routing"
@@ -113,6 +114,14 @@ type Router struct {
 	// per-port, per-stage resolution; nil (all calls no-ops) unless
 	// the network attached an observability layer.
 	probe *metrics.RouterProbe
+
+	// faults is the router's fault-model state (port stalls, dead
+	// output links); nil without Config.Faults. escapeTree replaces
+	// the XY escape network when the fault schedule kills links: an
+	// up*/down* tree over the surviving links that preserves Duato
+	// deadlock freedom.
+	faults     *faults.RouterState
+	escapeTree *routing.EscapeTree
 
 	// scratch state reused across ticks to avoid per-cycle allocation
 	saNominee []int // per input port: winning VC or -1
@@ -224,6 +233,15 @@ func (r *Router) ConnectInputCredit(p int, credit CreditSender) {
 // instrumentation site a single pointer check.
 func (r *Router) SetProbe(p *metrics.RouterProbe) { r.probe = p }
 
+// SetFaults attaches the router's fault-model state; wired before the
+// first tick, nil (the default) keeps the fault paths a pointer check.
+func (r *Router) SetFaults(s *faults.RouterState) { r.faults = s }
+
+// SetEscapeTree switches deadlock-escape routing from the XY escape
+// network to a fault-aware up*/down* tree; wired before the first
+// tick when the fault schedule contains hard link failures.
+func (r *Router) SetEscapeTree(t *routing.EscapeTree) { r.escapeTree = t }
+
 // OutputView returns the credit view at output port p (tests and the
 // network interface use it).
 func (r *Router) OutputView(p int) CreditView { return r.out[p].view }
@@ -263,6 +281,15 @@ func (r *Router) ReceiveCredit(p int, c flit.Credit) {
 // touches another router, so the kernel may run all routers' Ticks
 // concurrently between barriers.
 func (r *Router) Tick(now int64) {
+	if r.faults != nil {
+		r.faults.BeginCycle(now)
+		for p := 0; p < r.ports; p++ {
+			if r.faults.Stalled(p) {
+				r.Counters.StallCycles++
+				r.probe.PortStall(p)
+			}
+		}
+	}
 	r.escapeCheck(now)
 	if r.cfg.Speculative {
 		r.tickVA(now)
@@ -278,7 +305,10 @@ func (r *Router) Tick(now int64) {
 // Buffer write happens in parallel with RC, so a head arriving this
 // cycle routes this cycle (Front is probed at now+1).
 func (r *Router) tickRC(now int64) {
-	for _, in := range r.in {
+	for ip, in := range r.in {
+		if r.faults != nil && r.faults.Stalled(ip) {
+			continue
+		}
 		for v := range in.vc {
 			st := &in.vc[v]
 			if st.state != vcIdle {
@@ -294,7 +324,7 @@ func (r *Router) tickRC(now int64) {
 			}
 			st.pkt = f.Pkt
 			if f.Pkt.Escaped {
-				st.cands = []int{routing.EscapePort(r.mesh, r.id, f.Pkt.Dst)}
+				st.cands = []int{r.escapePort(f.Pkt.Dst)}
 			} else {
 				st.cands = r.route.Candidates(r.mesh, r.id, f.Pkt.Dst)
 			}
@@ -318,6 +348,12 @@ func (r *Router) bestCandidate(st *vcState, escape bool) int {
 		if view == nil || !view.HasFreeVC(escape) {
 			continue
 		}
+		if r.faults != nil && r.faults.LinkDead(p) {
+			// A dead output link accepts no new packets; worms that
+			// were granted the link before it died keep draining (SA
+			// does not consult candidates).
+			continue
+		}
 		if s := view.FreeSlots(); s > bestSlots {
 			best, bestSlots = p, s
 		}
@@ -332,7 +368,13 @@ func (r *Router) escapeCheck(now int64) {
 	if !r.cfg.NeedsEscape() {
 		return
 	}
-	for _, in := range r.in {
+	for ip, in := range r.in {
+		if r.faults != nil && r.faults.Stalled(ip) {
+			// A frozen port's control logic cannot re-channel; the
+			// wait clock keeps running, so the packet escapes as soon
+			// as the stall lifts.
+			continue
+		}
 		for v := range in.vc {
 			st := &in.vc[v]
 			if st.state != vcWaitVA || st.pkt.Escaped {
@@ -340,10 +382,23 @@ func (r *Router) escapeCheck(now int64) {
 			}
 			if now-st.waitSince > int64(r.cfg.DeadlockThreshold) {
 				st.pkt.Escaped = true
-				st.cands = []int{routing.EscapePort(r.mesh, r.id, st.pkt.Dst)}
+				st.cands = []int{r.escapePort(st.pkt.Dst)}
+				r.Counters.EscapeReroutes++
+				r.probe.EscapeReroute()
 			}
 		}
 	}
+}
+
+// escapePort returns the deterministic escape-network output port for
+// a packet bound for dst: the fault-aware up*/down* tree when hard
+// link failures are scheduled, the never-wrapping XY escape network
+// otherwise.
+func (r *Router) escapePort(dst int) int {
+	if r.escapeTree != nil {
+		return r.escapeTree.NextHop(r.id, dst)
+	}
+	return routing.EscapePort(r.mesh, r.id, dst)
 }
 
 // tickVA performs the two-stage virtual channel allocation.
@@ -376,6 +431,9 @@ func (r *Router) tickVAViChaR(now int64) {
 	contenders, grants := 0, 0
 	req := r.vaReq[:r.maxVCs]
 	for ip, in := range r.in {
+		if r.faults != nil && r.faults.Stalled(ip) {
+			continue
+		}
 		any := false
 		for v := range in.vc {
 			st := &in.vc[v]
@@ -463,6 +521,9 @@ func (r *Router) tickVAGeneric(now int64) {
 	}
 	flats := r.vaFlats[:0]
 	for ip, in := range r.in {
+		if r.faults != nil && r.faults.Stalled(ip) {
+			continue
+		}
 		for v := range in.vc {
 			st := &in.vc[v]
 			if st.state != vcWaitVA {
@@ -547,6 +608,9 @@ func (r *Router) tickSA(now int64) {
 	req := r.vaReq[:r.maxVCs]
 	for ip, in := range r.in {
 		r.saNominee[ip] = -1
+		if r.faults != nil && r.faults.Stalled(ip) {
+			continue
+		}
 		any := false
 		if r.probe == nil {
 			// Uninstrumented fast path: this loop runs ports x VCs

@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"testing"
+
+	"vichar/internal/topology"
+)
+
+func allUsable(node, port int) bool { return true }
+
+// walkEscape follows NextHop from src to dst and returns the path's
+// node sequence, failing the test on a cycle or an unusable hop.
+func walkEscape(t *testing.T, m topology.Mesh, tree *EscapeTree, src, dst int, usable func(node, port int) bool) []int {
+	t.Helper()
+	path := []int{src}
+	cur := src
+	for steps := 0; ; steps++ {
+		if steps > m.Nodes()*2 {
+			t.Fatalf("escape path %d->%d did not terminate: %v", src, dst, path)
+		}
+		port := tree.NextHop(cur, dst)
+		if cur == dst {
+			if port != topology.Local {
+				t.Fatalf("NextHop(%d,%d) = %d at the destination, want Local", cur, dst, port)
+			}
+			return path
+		}
+		if !usable(cur, port) {
+			t.Fatalf("escape path %d->%d crosses unusable link %d.%s", src, dst, cur, topology.PortName(port))
+		}
+		nb, ok := m.Neighbor(cur, port)
+		if !ok {
+			t.Fatalf("NextHop(%d,%d) = %d leaves the mesh", cur, dst, port)
+		}
+		cur = nb
+		path = append(path, cur)
+	}
+}
+
+func TestEscapeTreeReachesAllPairs(t *testing.T) {
+	m := topology.New(4, 4)
+	tree, err := NewEscapeTree(m, allUsable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			walkEscape(t, m, tree, src, dst, allUsable)
+		}
+	}
+}
+
+func TestEscapeTreeAvoidsDeadLinks(t *testing.T) {
+	m := topology.New(4, 4)
+	// Kill 5<->6 (east of 5) and 10<->14 (south of 10), in one
+	// direction each; the tree must treat both directions as unusable.
+	dead := map[[2]int]bool{
+		{5, topology.East}:   true,
+		{10, topology.South}: true,
+	}
+	usable := func(node, port int) bool { return !dead[[2]int{node, port}] }
+	bidir := func(node, port int) bool {
+		if !usable(node, port) {
+			return false
+		}
+		nb, ok := m.Neighbor(node, port)
+		return ok && usable(nb, topology.Opposite(port))
+	}
+	tree, err := NewEscapeTree(m, usable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			walkEscape(t, m, tree, src, dst, bidir)
+		}
+	}
+}
+
+func TestEscapeTreeTorus(t *testing.T) {
+	m := topology.New(4, 4)
+	m.Torus = true
+	tree, err := NewEscapeTree(m, allUsable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			walkEscape(t, m, tree, src, dst, allUsable)
+		}
+	}
+}
+
+func TestEscapeTreeDisconnected(t *testing.T) {
+	m := topology.New(2, 2)
+	// Cut node 3 off entirely: 1.south and 2.east both dead.
+	dead := map[[2]int]bool{
+		{1, topology.South}: true,
+		{2, topology.East}:  true,
+	}
+	if _, err := NewEscapeTree(m, func(node, port int) bool { return !dead[[2]int{node, port}] }); err == nil {
+		t.Fatal("disconnected mesh built an escape tree")
+	}
+}
+
+// TestEscapeTreeUpDownPhases verifies the deadlock-freedom shape
+// directly: along every escape path, once a hop moves down (away from
+// the root), no later hop moves up — the up*/down* property that keeps
+// the escape channel dependency graph acyclic.
+func TestEscapeTreeUpDownPhases(t *testing.T) {
+	m := topology.New(4, 4)
+	tree, err := NewEscapeTree(m, allUsable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := make([]int, m.Nodes())
+	for n := 1; n < m.Nodes(); n++ {
+		d, cur := 0, n
+		for cur != 0 {
+			up := tree.up[cur]
+			nb, _ := m.Neighbor(cur, up)
+			cur = nb
+			d++
+		}
+		depth[n] = d
+	}
+	for src := 0; src < m.Nodes(); src++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			path := walkEscape(t, m, tree, src, dst, allUsable)
+			descended := false
+			for i := 1; i < len(path); i++ {
+				down := depth[path[i]] > depth[path[i-1]]
+				if down {
+					descended = true
+				} else if descended {
+					t.Fatalf("escape path %d->%d climbs after descending: %v", src, dst, path)
+				}
+			}
+		}
+	}
+}

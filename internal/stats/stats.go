@@ -54,6 +54,16 @@ type Counters struct {
 	SAOps uint64
 	// VCGrants counts successful VC allocations (token grants).
 	VCGrants uint64
+
+	// Fault-model activity (zero without Config.Faults): flits lost
+	// on links, flits failing their CRC at the receiver, link-level
+	// retransmissions, port-cycles spent frozen by a stall fault, and
+	// packets re-channelled onto escape VCs.
+	FlitDrops      uint64
+	FlitCorrupts   uint64
+	Retransmits    uint64
+	StallCycles    uint64
+	EscapeReroutes uint64
 }
 
 // Sub returns the counter difference c - other (for windowed
@@ -67,6 +77,11 @@ func (c Counters) Sub(other Counters) Counters {
 		VAOps:          c.VAOps - other.VAOps,
 		SAOps:          c.SAOps - other.SAOps,
 		VCGrants:       c.VCGrants - other.VCGrants,
+		FlitDrops:      c.FlitDrops - other.FlitDrops,
+		FlitCorrupts:   c.FlitCorrupts - other.FlitCorrupts,
+		Retransmits:    c.Retransmits - other.Retransmits,
+		StallCycles:    c.StallCycles - other.StallCycles,
+		EscapeReroutes: c.EscapeReroutes - other.EscapeReroutes,
 	}
 }
 
@@ -79,6 +94,11 @@ func (c *Counters) Add(other Counters) {
 	c.VAOps += other.VAOps
 	c.SAOps += other.SAOps
 	c.VCGrants += other.VCGrants
+	c.FlitDrops += other.FlitDrops
+	c.FlitCorrupts += other.FlitCorrupts
+	c.Retransmits += other.Retransmits
+	c.StallCycles += other.StallCycles
+	c.EscapeReroutes += other.EscapeReroutes
 }
 
 // SeriesPoint is one sample of a time-series metric.

@@ -26,6 +26,15 @@ func ParseTraffic(s string) (TrafficProcess, error) { return config.ParseTraffic
 // "hotspot"/"hs".
 func ParseDest(s string) (DestPattern, error) { return config.ParseDest(s) }
 
+// ParseFaults parses the compact fault-specification grammar used by
+// the -faults command-line flag: comma-separated clauses among
+// "seed=N", "drop=RATE", "corrupt=RATE", "retx=CYCLES",
+// "stall=RATE[:CYCLES]", "kill=NODE.PORT@CYCLE",
+// "freeze=NODE.PORT@CYCLE+CYCLES" and "drop1=NODE.PORT@CYCLE", where
+// PORT is n/e/s/w/l or a port index. "", "off" and "none" disable
+// faults.
+func ParseFaults(s string) (Faults, error) { return config.ParseFaults(s) }
+
 // SaveConfig serializes a configuration as indented JSON with
 // human-readable enum names.
 func SaveConfig(w io.Writer, cfg Config) error {

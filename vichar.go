@@ -119,6 +119,30 @@ const (
 	Hotspot = config.Hotspot
 )
 
+// Faults configures the deterministic fault model: transient flit
+// drops/corruptions recovered by per-link retransmission buffers,
+// router port stalls, and scheduled hard link failures routed around
+// by the fault-aware escape tree. Zero value = no faults.
+type Faults = config.FaultsConfig
+
+// FaultEvent is one scheduled fault of a Faults.Events list.
+type FaultEvent = config.FaultEvent
+
+// FaultKind discriminates scheduled fault events.
+type FaultKind = config.FaultKind
+
+// Fault kinds.
+const (
+	// KillLink permanently disables a directed inter-router link
+	// ("kill-link"); requires MinimalAdaptive routing.
+	KillLink = config.KillLink
+	// StallPort freezes an input port's control logic for a window
+	// ("stall-port").
+	StallPort = config.StallPort
+	// DropFlit drops the next flit crossing a link once ("drop-flit").
+	DropFlit = config.DropFlit
+)
+
 // DefaultConfig returns the paper's evaluation platform: an 8x8 mesh
 // of 5-port routers with 4 VCs x 4 flits of 128 bits per port, XY
 // routing, uniform random traffic, 500 MHz.

@@ -124,3 +124,28 @@ func TestArchitectureConstantsDistinct(t *testing.T) {
 		t.Fatal("architecture constants collide")
 	}
 }
+
+// TestSimulatorCloseIdempotent locks the Close contract at the public
+// API level: Close may be called any number of times, interleaved
+// with Step, on a parallel simulator, without panicking or leaking
+// the worker pool.
+func TestSimulatorCloseIdempotent(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Workers = 4
+	sim, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sim.Step()
+	}
+	sim.Close()
+	sim.Close() // second Close must be a no-op
+	// The simulator stays usable serially after Close.
+	before := sim.Now()
+	sim.Step()
+	if sim.Now() != before+1 {
+		t.Fatalf("step after Close did not advance the clock (%d -> %d)", before, sim.Now())
+	}
+	sim.Close()
+}
