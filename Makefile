@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs experiments paper synth examples clean
+.PHONY: all build vet lint lint-hot alloc-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -12,11 +12,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific determinism & invariant rules (cmd/vichar-lint):
-# no map ranges or ambient entropy in the simulator core, no dropped
-# errors, panics only in constructors or at annotated invariants.
+# Project-specific determinism, invariant & hot-path purity rules
+# (cmd/vichar-lint): no map ranges or ambient entropy in the simulator
+# core, no dropped errors, panics only in constructors or at annotated
+# invariants, no allocation on the tick path beyond the committed
+# lint.baseline ratchet, nil-guarded probes, and shard-owned writes in
+# phase functions (DESIGN.md §9, §13). Runs go vet first.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/vichar-lint ./...
+
+# The hot-path purity contract cross-checked against the compiler:
+# the AST pass's hot set and explanations must account for every heap
+# decision `go build -gcflags='-m -m'` reports in a hot function.
+lint-hot:
+	$(GO) run ./cmd/vichar-lint -escape-audit ./...
+
+# The runtime half of the purity contract: Network.Step performs zero
+# heap allocations at steady state for all four buffer architectures.
+alloc-check:
+	$(GO) test ./internal/network/ -run TestStepAllocFree -count=1 -v
 
 test:
 	$(GO) test ./...

@@ -1,6 +1,7 @@
-// Command vichar-lint enforces the simulator's determinism and
-// invariant contract (DESIGN.md, "Determinism & invariants") over the
-// given package patterns:
+// Command vichar-lint enforces the simulator's determinism, invariant
+// and hot-path purity contracts (DESIGN.md, "Determinism &
+// invariants" and §13 "Hot-path purity contract") over the given
+// package patterns:
 //
 //	go run ./cmd/vichar-lint ./...
 //
@@ -9,51 +10,127 @@
 // time.Now — randomness flows from Config.Seed), checked-errors (no
 // silently dropped error returns from simulator-internal calls),
 // panic-discipline (panics only in constructors or annotated
-// invariant violations) and concurrency-ownership (no `go` statements
+// invariant violations), concurrency-ownership (no `go` statements
 // in internal packages outside the cycle kernel's shard executor,
-// internal/network/shards.go — all simulator parallelism must flow
-// through the two-phase kernel's ownership contract, DESIGN.md §10).
-// Sites proven safe are annotated in source:
+// internal/network/shards.go), hot-path-alloc (no allocation in
+// functions reachable from the tick roots Network.Step and
+// Router.Tick), probe-guard (metrics accesses in deterministic
+// packages must be nil-guarded or nil-receiver-safe) and
+// phase-ownership (shard functions passed to runSharded may only
+// write through shard-derived indexes). Sites proven safe are
+// annotated in source:
 //
-//	//vichar:ordered <reason>      waives map-range
-//	//vichar:invariant <reason>    waives panic-discipline
+//	//vichar:ordered <reason>       waives map-range
+//	//vichar:invariant <reason>     waives panic-discipline
+//	//vichar:alloc <reason>         waives hot-path-alloc
 //	//vichar:nolint <rule> <reason> waives any rule
+//
+// A bare marker with no reason never suppresses anything.
+//
+// The committed lint.baseline at the module root is a ratchet: it
+// grandfathers pre-existing hot-path findings by (rule, package,
+// function, count). New findings still fail; when the tree improves
+// past an entry, the run fails with baseline-stale until the file is
+// regenerated with -update-baseline, so the baseline only shrinks.
+//
+// Flags:
+//
+//	-json             emit findings as a JSON array instead of text
+//	-baseline PATH    ratchet file to apply (default <module>/lint.baseline)
+//	-no-baseline      ignore any baseline; report raw findings
+//	-update-baseline  rewrite the baseline to grandfather today's findings
+//	-escape-audit     cross-check the AST pass against go build -gcflags=-m
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 load/usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"vichar/internal/lint"
 )
 
 func main() {
+	var (
+		jsonOut        = flag.Bool("json", false, "emit findings as a JSON array")
+		baselinePath   = flag.String("baseline", "", "ratchet file to apply (default <module root>/lint.baseline)")
+		noBaseline     = flag.Bool("no-baseline", false, "ignore any baseline; report raw findings")
+		updateBaseline = flag.Bool("update-baseline", false, "rewrite the baseline to grandfather today's findings")
+		escapeAudit    = flag.Bool("escape-audit", false, "cross-check the AST pass against go build -gcflags=-m -m")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vichar-lint [packages]\n\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vichar-lint [flags] [packages]\n\n"+
 			"Package patterns are directories relative to the current module,\n"+
-			"optionally ending in /... (default ./...).\n")
+			"optionally ending in /... (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *noBaseline && *updateBaseline {
+		fmt.Fprintln(os.Stderr, "vichar-lint: -no-baseline and -update-baseline are mutually exclusive")
+		os.Exit(2)
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vichar-lint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(cwd, flag.Args())
+	res, err := lint.Analyze(cwd, lint.Options{
+		Patterns:     flag.Args(),
+		BaselinePath: *baselinePath,
+		NoBaseline:   *noBaseline,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vichar-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *updateBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = filepath.Join(res.ModuleRoot, lint.BaselineName)
+		}
+		if err := lint.WriteBaseline(path, res.Raw); err != nil {
+			fmt.Fprintln(os.Stderr, "vichar-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "vichar-lint: wrote %s (%d grandfathered finding(s))\n", path, len(res.Raw))
+		return
+	}
+
+	diags := res.Diags
+	if *escapeAudit {
+		audit, err := lint.EscapeAudit(res.ModuleRoot, res.Hot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vichar-lint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, audit...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "vichar-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "vichar-lint: %d issue(s)\n", len(diags))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "vichar-lint: %d issue(s)\n", len(diags))
+		}
 		os.Exit(1)
 	}
 }

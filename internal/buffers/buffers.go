@@ -65,7 +65,10 @@ type fifo struct {
 	head  int
 }
 
-func (q *fifo) push(f *flit.Flit) { q.items = append(q.items, f) }
+func (q *fifo) push(f *flit.Flit) {
+	//vichar:alloc grows the recycled backing array to the buffer's steady-state depth, then reuses it
+	q.items = append(q.items, f)
+}
 
 func (q *fifo) pop() *flit.Flit {
 	f := q.items[q.head]

@@ -49,6 +49,7 @@ func (t *Table) Append(vc, slot int) {
 	if len(t.rows[vc]) == 0 {
 		t.active++
 	}
+	//vichar:alloc each row grows to the unified buffer's slot count once, then PopHead recycles it in place
 	t.rows[vc] = append(t.rows[vc], slot)
 }
 
@@ -85,6 +86,7 @@ func (t *Table) Slots(vc int) []int {
 	if vc < 0 || vc >= len(t.rows) {
 		return nil
 	}
+	//vichar:alloc diagnostic copy for tests and the invariant audit; not on the steady-state tick path
 	out := make([]int, len(t.rows[vc]))
 	copy(out, t.rows[vc])
 	return out

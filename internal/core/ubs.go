@@ -122,7 +122,10 @@ func (b *UBS) Occupied() int { return len(b.slots) - b.tracker.Free() }
 func (b *UBS) InUseVCs() int { return b.table.ActiveRows() }
 
 // SlotsOf exposes the VC's slot list for tests and diagnostics.
-func (b *UBS) SlotsOf(vc int) []int { return b.table.Slots(vc) }
+func (b *UBS) SlotsOf(vc int) []int {
+	//vichar:alloc diagnostic copy for tests and the invariant audit; not on the steady-state tick path
+	return b.table.Slots(vc)
+}
 
 // SlotFree reports whether the Slot Availability Tracker marks slot i
 // free; out-of-range IDs report false. Used by the invariant auditor

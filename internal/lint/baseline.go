@@ -1,0 +1,158 @@
+// The lint.baseline ratchet: pre-existing findings are grandfathered
+// by (rule, package, function, count) so the tree lints clean today,
+// while any *new* finding — or a baseline that overstates reality
+// after a fix, which means it was not regenerated — fails the run.
+// Keys deliberately exclude line numbers: unrelated edits that shift
+// code may not invalidate the baseline, only changing the actual
+// finding count in a function does.
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RuleBaselineStale marks a baseline entry whose findings have
+// shrunk without the file being regenerated via -update-baseline.
+const RuleBaselineStale = "baseline-stale"
+
+// BaselineName is the ratchet file committed at the module root.
+const BaselineName = "lint.baseline"
+
+type baselineKey struct {
+	Rule, Pkg, Func string
+}
+
+type baselineEntry struct {
+	count int
+	line  int // line in the baseline file, for stale diagnostics
+}
+
+// Baseline is a parsed ratchet file.
+type Baseline struct {
+	Path    string
+	entries map[baselineKey]*baselineEntry
+}
+
+// ReadBaseline parses the ratchet file. A missing file yields
+// (nil, nil): no baseline, nothing grandfathered.
+func ReadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := &Baseline{Path: path, entries: map[baselineKey]*baselineEntry{}}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("lint: %s:%d: want 4 tab-separated fields (rule, package, function, count), got %d", path, lineNo, len(fields))
+		}
+		count, err := strconv.Atoi(fields[3])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("lint: %s:%d: bad count %q", path, lineNo, fields[3])
+		}
+		key := baselineKey{Rule: fields[0], Pkg: fields[1], Func: fields[2]}
+		if _, dup := b.entries[key]; dup {
+			return nil, fmt.Errorf("lint: %s:%d: duplicate entry %s %s %s", path, lineNo, key.Rule, key.Pkg, key.Func)
+		}
+		b.entries[key] = &baselineEntry{count: count, line: lineNo}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteBaseline regenerates the ratchet file from the current
+// (post-waiver, pre-baseline) findings.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{Rule: d.Rule, Pkg: d.Pkg, Func: d.Func}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Rule < b.Rule
+	})
+	var sb strings.Builder
+	sb.WriteString("# vichar-lint baseline: grandfathered findings, keyed rule<TAB>package<TAB>function<TAB>count.\n")
+	sb.WriteString("# New findings beyond these counts fail the lint; fixing findings requires\n")
+	sb.WriteString("# regenerating with `go run ./cmd/vichar-lint -update-baseline ./...` so the\n")
+	sb.WriteString("# ratchet only ever tightens. See DESIGN.md §13.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s\t%s\t%s\t%d\n", k.Rule, k.Pkg, k.Func, counts[k])
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// apply suppresses up to the grandfathered count per key and reports
+// stale entries: keys whose observed count shrank below the baseline
+// in a package this run actually linted. hotRulesRan gates staleness
+// of hot-path entries — a run whose patterns exclude the tick roots
+// cannot see hot findings and must not call their entries stale.
+func (b *Baseline) apply(diags []Diagnostic, linted map[string]bool, hotRulesRan bool) (kept []Diagnostic, suppressed int, stale []Diagnostic) {
+	if b == nil {
+		return diags, 0, nil
+	}
+	observed := map[baselineKey]int{}
+	for _, d := range diags {
+		key := baselineKey{Rule: d.Rule, Pkg: d.Pkg, Func: d.Func}
+		observed[key]++
+		if e, ok := b.entries[key]; ok && observed[key] <= e.count {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	keys := make([]baselineKey, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return b.entries[keys[i]].line < b.entries[keys[j]].line })
+	for _, k := range keys {
+		if !linted[k.Pkg] {
+			continue
+		}
+		if k.Rule == RuleHotPathAlloc && !hotRulesRan {
+			continue
+		}
+		e := b.entries[k]
+		if got := observed[k]; got < e.count {
+			stale = append(stale, Diagnostic{
+				Pos:  token.Position{Filename: b.Path, Line: e.line, Column: 1},
+				Rule: RuleBaselineStale,
+				Pkg:  k.Pkg,
+				Func: k.Func,
+				Msg: fmt.Sprintf("baseline entry %s %s %s expects %d finding(s) but %d remain; the ratchet only tightens — regenerate with -update-baseline",
+					k.Rule, k.Pkg, k.Func, e.count, got),
+			})
+		}
+	}
+	return kept, suppressed, stale
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(rule, pkg, fn string) Diagnostic {
+	return Diagnostic{Rule: rule, Pkg: pkg, Func: fn}
+}
+
+// TestBaselineRoundTrip writes findings out and reads the same counts
+// back.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), BaselineName)
+	diags := []Diagnostic{
+		diag(RuleHotPathAlloc, "vichar/internal/buffers", "DAMQ.Write"),
+		diag(RuleHotPathAlloc, "vichar/internal/buffers", "DAMQ.Write"),
+		diag(RuleHotPathAlloc, "vichar/internal/core", "UBS.Pop"),
+	}
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == nil {
+		t.Fatal("baseline read back as missing")
+	}
+	if got := b.entries[baselineKey{RuleHotPathAlloc, "vichar/internal/buffers", "DAMQ.Write"}]; got == nil || got.count != 2 {
+		t.Errorf("DAMQ.Write entry = %+v, want count 2", got)
+	}
+	if got := b.entries[baselineKey{RuleHotPathAlloc, "vichar/internal/core", "UBS.Pop"}]; got == nil || got.count != 1 {
+		t.Errorf("UBS.Pop entry = %+v, want count 1", got)
+	}
+}
+
+// TestBaselineMissingFile pins the no-baseline contract: (nil, nil).
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if b != nil || err != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", b, err)
+	}
+}
+
+// TestBaselineRejectsMalformed pins the strict-parse contract.
+func TestBaselineRejectsMalformed(t *testing.T) {
+	for name, content := range map[string]string{
+		"three fields": "hot-path-alloc\tpkg\t3\n",
+		"bad count":    "hot-path-alloc\tpkg\tFn\tzero\n",
+		"zero count":   "hot-path-alloc\tpkg\tFn\t0\n",
+		"duplicate":    "r\tp\tf\t1\nr\tp\tf\t2\n",
+	} {
+		path := filepath.Join(t.TempDir(), BaselineName)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBaseline(path); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestBaselineApply covers the three ratchet outcomes at once:
+// grandfathered findings are suppressed up to their count, excess
+// findings are kept, and over-stated entries in linted packages come
+// back stale.
+func TestBaselineApply(t *testing.T) {
+	path := filepath.Join(t.TempDir(), BaselineName)
+	grandfathered := []Diagnostic{
+		diag(RuleHotPathAlloc, "m/a", "F"),
+		diag(RuleHotPathAlloc, "m/a", "F"),
+		diag(RuleHotPathAlloc, "m/b", "G"),
+		diag(RuleProbeGuard, "m/c", "H"),
+	}
+	if err := WriteBaseline(path, grandfathered); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Today's run: F regressed to 3 findings (one new), G was fixed
+	// (stale), H's package was not linted (not stale).
+	today := []Diagnostic{
+		diag(RuleHotPathAlloc, "m/a", "F"),
+		diag(RuleHotPathAlloc, "m/a", "F"),
+		diag(RuleHotPathAlloc, "m/a", "F"),
+	}
+	linted := map[string]bool{"m/a": true, "m/b": true}
+	kept, suppressed, stale := b.apply(today, linted, true)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Func != "F" {
+		t.Errorf("kept = %v, want the one excess F finding", kept)
+	}
+	if len(stale) != 1 || stale[0].Func != "G" || stale[0].Rule != RuleBaselineStale {
+		t.Errorf("stale = %v, want exactly the fixed G entry", stale)
+	}
+	if len(stale) == 1 && !strings.Contains(stale[0].Msg, "-update-baseline") {
+		t.Errorf("stale message should point at -update-baseline: %s", stale[0].Msg)
+	}
+
+	// The same shrink is NOT stale when the hot rules could not run
+	// (patterns excluded the tick roots).
+	_, _, stale = b.apply(today, linted, false)
+	if len(stale) != 0 {
+		t.Errorf("hot-path entries must not go stale without roots, got %v", stale)
+	}
+}

@@ -1,0 +1,187 @@
+// Escape-audit mode: cross-check the AST hot-path-alloc pass against
+// the compiler's actual escape analysis (`go build -gcflags=-m -m`).
+// The AST pass is a reviewable approximation; the compiler is ground
+// truth. Any heap decision the compiler reports inside a hot
+// function that the AST pass neither flagged nor saw waived means the
+// lint has drifted and must be taught the new construct — so the two
+// views cannot diverge silently.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RuleEscapeAudit marks a compiler-observed heap allocation in a hot
+// function that the AST pass did not explain.
+const RuleEscapeAudit = "escape-audit"
+
+// HotFunc is one hot-set function's extent, for matching compiler
+// diagnostics to the hot set.
+type HotFunc struct {
+	File      string // absolute path
+	Name      string
+	Root      string // witness tick root
+	StartLine int
+	EndLine   int
+}
+
+// HotReport is the AST pass's view of the hot set, produced by
+// Analyze and consumed by EscapeAudit.
+type HotReport struct {
+	Funcs []HotFunc
+	// Explained maps file -> line -> true for every allocation the AST
+	// pass accounted for: findings before suppression plus waiver
+	// annotation lines.
+	Explained map[string]map[int]bool
+}
+
+// escapeLine is one parsed compiler diagnostic.
+type escapeLine struct {
+	file string
+	line int
+	msg  string
+}
+
+// EscapeAudit builds the module with escape-analysis diagnostics
+// enabled and returns a finding for every compiler-reported heap
+// allocation inside a hot function that the AST pass did not explain.
+func EscapeAudit(moduleRoot string, rep *HotReport) ([]Diagnostic, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "./...")
+	cmd.Dir = moduleRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: escape audit build failed: %v\n%s", err, out)
+	}
+	return auditEscapes(moduleRoot, rep, parseEscapeOutput(moduleRoot, string(out))), nil
+}
+
+// parseEscapeOutput extracts the heap-relevant diagnostics
+// ("escapes to heap", "moved to heap") from the compiler output,
+// normalizing file paths to absolute.
+func parseEscapeOutput(moduleRoot, out string) []escapeLine {
+	var lines []escapeLine
+	seen := map[escapeLine]bool{}
+	for _, raw := range strings.Split(out, "\n") {
+		raw = strings.TrimSpace(raw)
+		if !strings.Contains(raw, "escapes to heap") && !strings.Contains(raw, "moved to heap") {
+			continue
+		}
+		if strings.Contains(raw, "does not escape") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(raw, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		line, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleRoot, filepath.FromSlash(strings.TrimPrefix(file, "./")))
+		}
+		// Packages are compiled once normally and once for their tests,
+		// and -m -m re-states a decision with a trailing colon before
+		// the flow explanation; normalize and dedupe both forms.
+		el := escapeLine{
+			file: filepath.Clean(file),
+			line: line,
+			msg:  strings.TrimSuffix(strings.TrimSpace(parts[3]), ":"),
+		}
+		if seen[el] {
+			continue
+		}
+		seen[el] = true
+		lines = append(lines, el)
+	}
+	return lines
+}
+
+// auditEscapes matches compiler diagnostics to hot-function extents
+// and drops the ones the AST pass explained. A line is explained if
+// the pass produced a finding or saw a waiver within one line of it
+// (the compiler anchors some diagnostics on the operand rather than
+// the operator).
+func auditEscapes(moduleRoot string, rep *HotReport, lines []escapeLine) []Diagnostic {
+	funcsByFile := map[string][]HotFunc{}
+	for _, f := range rep.Funcs {
+		if strings.Contains(filepath.ToSlash(f.File), "/testdata/") {
+			continue
+		}
+		funcsByFile[f.File] = append(funcsByFile[f.File], f)
+	}
+	explained := func(file string, line int) bool {
+		m := rep.Explained[file]
+		if m == nil {
+			return false
+		}
+		return m[line] || m[line-1] || m[line+1]
+	}
+	// A hot function with any explained line has been reviewed by the
+	// AST pass; "moved to heap" diagnostics (anchored on declaration
+	// sites, often far from the construct that caused the move) are
+	// only reported for functions the pass believed entirely clean.
+	funcHasExplained := func(f HotFunc) bool {
+		m := rep.Explained[f.File]
+		for l := f.StartLine; l <= f.EndLine; l++ {
+			if m[l] {
+				return true
+			}
+		}
+		return false
+	}
+	var diags []Diagnostic
+	for _, el := range lines {
+		for _, f := range funcsByFile[el.file] {
+			if el.line < f.StartLine || el.line > f.EndLine {
+				continue
+			}
+			if explained(el.file, el.line) {
+				break
+			}
+			// A quoted literal escaping is a string constant boxed into
+			// an interface — the AST pass exempts constants (they box
+			// only on terminating panic/error paths), and inlining
+			// re-anchors such escapes onto caller lines the pass never
+			// saw, so the audit exempts them too.
+			if strings.HasPrefix(el.msg, "\"") {
+				break
+			}
+			// "func literal escapes to heap" is anchored on the literal
+			// itself, but the allocation happens in the ENCLOSING
+			// function when the literal is built — the extent that
+			// starts at this very line is the value escaping, not the
+			// allocator. The encloser is audited separately (if hot).
+			if el.line == f.StartLine && strings.HasPrefix(el.msg, "func literal escapes") {
+				break
+			}
+			if strings.Contains(el.msg, "moved to heap") && funcHasExplained(f) {
+				break
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  token.Position{Filename: el.file, Line: el.line, Column: 1},
+				Rule: RuleEscapeAudit,
+				Func: f.Name,
+				Msg: fmt.Sprintf("compiler reports %q inside hot function %s (reachable from %s) but the hot-path-alloc pass did not explain this line; teach the pass the construct or fix the allocation",
+					el.msg, f.Name, f.Root),
+			})
+			break
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapeOutput pins the compiler-output contract: heap
+// decisions are extracted with paths made absolute, "does not escape"
+// lines are skipped, and the two duplicate sources — a package
+// compiled again for its tests, and -m -m restating a decision with a
+// trailing colon before the flow explanation — collapse to one entry.
+func TestParseEscapeOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# vichar/internal/network",
+		"./internal/network/network.go:10:6: f escapes to heap:",
+		"./internal/network/network.go:10:6:   flow: {heap} = &f:",
+		"./internal/network/network.go:10:6: f escapes to heap",
+		"./internal/network/network.go:10:6: f escapes to heap", // test recompile
+		"./internal/network/network.go:12:9: x does not escape",
+		"./internal/network/network.go:14:2: moved to heap: y",
+		"not a diagnostic line",
+	}, "\n")
+	lines := parseEscapeOutput("/mod", out)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %+v", len(lines), lines)
+	}
+	if lines[0].file != "/mod/internal/network/network.go" || lines[0].line != 10 || lines[0].msg != "f escapes to heap" {
+		t.Errorf("line 0 = %+v", lines[0])
+	}
+	if lines[1].line != 14 || !strings.Contains(lines[1].msg, "moved to heap") {
+		t.Errorf("line 1 = %+v", lines[1])
+	}
+}
+
+// TestAuditEscapes covers the matching rules: an unexplained escape
+// in a hot extent is a finding; explained lines (with one line of
+// slack), cold functions, constant-string boxing, a literal's own
+// escape at its start line, and testdata paths are not.
+func TestAuditEscapes(t *testing.T) {
+	rep := &HotReport{
+		Funcs: []HotFunc{
+			{File: "/m/a.go", Name: "Network.Step", Root: "Network.Step", StartLine: 10, EndLine: 30},
+			{File: "/m/a.go", Name: "New.func", Root: "Network.Step", StartLine: 50, EndLine: 55},
+			{File: "/m/testdata/f.go", Name: "Hot", Root: "Network.Step", StartLine: 1, EndLine: 100},
+		},
+		Explained: map[string]map[int]bool{
+			"/m/a.go": {20: true},
+		},
+	}
+	lines := []escapeLine{
+		{file: "/m/a.go", line: 15, msg: "make([]int, n) escapes to heap"}, // finding
+		{file: "/m/a.go", line: 21, msg: "x escapes to heap"},              // explained via slack
+		{file: "/m/a.go", line: 40, msg: "y escapes to heap"},              // cold gap
+		{file: "/m/a.go", line: 12, msg: `"boom" escapes to heap`},         // constant boxing
+		{file: "/m/a.go", line: 50, msg: "func literal escapes to heap"},   // the literal itself
+		{file: "/m/testdata/f.go", line: 5, msg: "z escapes to heap"},      // fixture tree
+		{file: "/m/a.go", line: 52, msg: "moved to heap: v"},               // moved in clean func -> finding
+		{file: "/m/a.go", line: 22, msg: "moved to heap: w"},               // moved in reviewed func
+	}
+	diags := auditEscapes("/m", rep, lines)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Pos.Filename[len("/m/"):]+":"+strconv.Itoa(d.Pos.Line))
+	}
+	want := []string{"a.go:15", "a.go:52"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("findings = %v, want %v\n%v", got, want, diags)
+	}
+	for _, d := range diags {
+		if d.Rule != RuleEscapeAudit {
+			t.Errorf("rule = %s, want %s", d.Rule, RuleEscapeAudit)
+		}
+	}
+}

@@ -87,7 +87,8 @@ func TestFixtures(t *testing.T) {
 	// containing the rule's trigger pattern with no marker on every
 	// line proves the negative (asserted by the exact-match check
 	// above). Require presence of a positive per rule here.
-	for _, rule := range []string{RuleMapRange, RuleAmbientEntropy, RuleCheckedErrors, RulePanics, RuleConcurrency} {
+	for _, rule := range []string{RuleMapRange, RuleAmbientEntropy, RuleCheckedErrors, RulePanics, RuleConcurrency,
+		RuleHotPathAlloc, RuleProbeGuard, RulePhaseOwnership} {
 		found := false
 		for e := range want {
 			if e.rule == rule {

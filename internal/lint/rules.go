@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -42,11 +41,14 @@ var deterministicPkgs = map[string]bool{
 	"faults":  true,
 }
 
-// Diagnostic is one rule violation.
+// Diagnostic is one rule violation. Pkg and Func key the finding for
+// the lint.baseline ratchet; they do not appear in String().
 type Diagnostic struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	Pkg  string // import path of the package containing the finding
+	Func string // enclosing function, e.g. "Network.Step"; "" at file scope
 }
 
 func (d Diagnostic) String() string {
@@ -93,7 +95,7 @@ func parseAnnotations(fset *token.FileSet, f *ast.File) annotations {
 // rule. Annotations must carry a justification; a bare marker does
 // not suppress.
 func (ann annotations) suppresses(rule string, line int) bool {
-	kind := map[string]string{RuleMapRange: "ordered", RulePanics: "invariant"}[rule]
+	kind := map[string]string{RuleMapRange: "ordered", RulePanics: "invariant", RuleHotPathAlloc: "alloc"}[rule]
 	for _, l := range []int{line, line - 1} {
 		for _, a := range ann[l] {
 			if a.reason == "" {
@@ -117,7 +119,7 @@ type checker struct {
 
 func (c *checker) report(rule string, pos token.Pos, format string, args ...any) {
 	p := c.fset.Position(pos)
-	*c.diags = append(*c.diags, Diagnostic{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	*c.diags = append(*c.diags, Diagnostic{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...), Pkg: c.pkg.ImportPath})
 }
 
 // run applies every applicable rule to the package.
@@ -438,39 +440,13 @@ func (c *checker) checkPanics(f *ast.File, ann annotations) {
 
 // Run loads the packages matched by the patterns (resolved relative
 // to cwd within the enclosing module) and returns every diagnostic,
-// sorted by position. An empty pattern list means "./...".
+// sorted by position. An empty pattern list means "./...". The module
+// root's lint.baseline, when present, is applied automatically; use
+// Analyze for finer control.
 func Run(cwd string, patterns []string) ([]Diagnostic, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	l, err := newLoader(cwd)
+	res, err := Analyze(cwd, Options{Patterns: patterns})
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := l.load(cwd, patterns)
-	if err != nil {
-		return nil, err
-	}
-	var diags []Diagnostic
-	for _, p := range pkgs {
-		if p.Types == nil && len(p.Files) > 0 {
-			return nil, fmt.Errorf("lint: %s not type-checked", p.ImportPath)
-		}
-		c := &checker{fset: l.fset, modulePath: l.modulePath, pkg: p, diags: &diags}
-		c.run()
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
-	return diags, nil
+	return res.Diags, nil
 }

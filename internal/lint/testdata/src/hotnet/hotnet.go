@@ -1,0 +1,152 @@
+// Package network is a lint fixture for the hot-path purity passes:
+// it declares its own Network.Step tick root and exercises
+// hot-path-alloc over every call-graph edge kind (direct calls,
+// method values, func-typed fields, interface dispatch, literals)
+// plus phase-ownership over runSharded arguments. Lines expecting a
+// diagnostic carry an end-of-line marker checked by the engine's
+// tests.
+package network
+
+import "fmt"
+
+// flitT is a minimal payload so composite literals have a type.
+type flitT struct{ seq int }
+
+// buffer is the interface-dispatch plug point: Step reaches ring.push
+// only through it.
+type buffer interface {
+	push(f *flitT)
+}
+
+// ring is the buffer implementation the dispatch fan-out must find.
+type ring struct{ items []*flitT }
+
+func (r *ring) push(f *flitT) {
+	r.items = append(r.items, f) //!lint hot-path-alloc
+}
+
+func (r *ring) clear() { r.items = r.items[:0] }
+
+// Network mirrors the real kernel's shape: a func-typed phase field
+// bound to a method at construction time.
+type Network struct {
+	name      string
+	steps     int
+	counts    []int
+	rings     []*ring
+	bufs      []buffer
+	scratch   []int
+	deliverFn func(shard int)
+}
+
+// NewNet is the constructor: its allocations are not hot (it is not
+// reachable from Step) and must stay unflagged.
+func NewNet(k int) *Network {
+	n := &Network{counts: make([]int, k), name: "net"}
+	for i := 0; i < k; i++ {
+		r := &ring{}
+		n.rings = append(n.rings, r)
+		n.bufs = append(n.bufs, r)
+	}
+	n.deliverFn = n.deliverShard
+	return n
+}
+
+// Step is this fixture's tick root (rootSpec network/Network/Step).
+func (n *Network) Step() {
+	n.runSharded(n.deliverFn)
+	n.dispatch()
+	_ = n.describe(len(n.counts))
+	_ = n.label(n.name)
+	n.compute()
+	apply(n.bump) //!lint hot-path-alloc
+}
+
+// runSharded mimics the kernel's phase driver: serial here, but the
+// ownership contract applies to its arguments all the same.
+func (n *Network) runSharded(fn func(shard int)) {
+	for s := 0; s < len(n.counts); s++ {
+		fn(s)
+	}
+}
+
+// deliverShard is reached only through the deliverFn field: the
+// func-field fan-out must mark it hot, and phase-ownership must
+// resolve it from the runSharded call site.
+func (n *Network) deliverShard(shard int) {
+	n.counts[shard] = shard // legal: shard-derived index
+	n.steps++               //!lint phase-ownership
+}
+
+// dispatch exercises allocation checks plus interface dispatch.
+func (n *Network) dispatch() {
+	f := &flitT{seq: n.steps} //!lint hot-path-alloc
+	for _, b := range n.bufs {
+		b.push(f)
+	}
+	n.scratch = append(n.scratch, 1) //!lint hot-path-alloc
+	sizes := make([]int, 4)          //!lint hot-path-alloc
+	n.steps += len(sizes)
+	byName := map[string]int{"net": 1} //!lint hot-path-alloc
+	n.steps += len(byName)
+	defer n.bump() //!lint hot-path-alloc
+}
+
+// observe holds the waiver cases: a justified annotation suppresses,
+// a bare one must not.
+func (n *Network) observe() {
+	//vichar:alloc fixture: the staging row grows to steady capacity once, then is reused
+	n.scratch = append(n.scratch, 2)
+	//vichar:alloc
+	n.scratch = append(n.scratch, 3) //!lint hot-path-alloc
+}
+
+// describe allocates through fmt (call + interface boxing of v).
+func (n *Network) describe(v int) string {
+	return fmt.Sprintf("net-%d", v) //!lint hot-path-alloc
+}
+
+// label allocates by non-constant string concatenation.
+func (n *Network) label(s string) string {
+	return "net:" + s //!lint hot-path-alloc
+}
+
+// compute defines a closure over a local: the capture allocates.
+func (n *Network) compute() {
+	base := len(n.scratch)
+	grow := func() int { return base + 1 } //!lint hot-path-alloc
+	n.counts[0] = grow()
+	n.observe()
+}
+
+// bump is reached as a method value (apply(n.bump) in Step).
+func (n *Network) bump() { n.steps++ }
+
+// apply models a callback sink; the method value passed to it is
+// treated as called by the passer.
+func apply(f func()) { f() }
+
+// reset is only called from a shard literal below; the receiver-chain
+// write inside it is checked at the call site, not here.
+func (n *Network) reset() { n.steps = 0 }
+
+// auditPass is not hot (nothing on the tick path calls it), so its
+// allocations stay unflagged — but its runSharded literal is still
+// under the phase-ownership contract.
+func (n *Network) auditPass() {
+	total := 0
+	waived := 0
+	n.runSharded(func(shard int) {
+		lo, hi := shard*2, shard*2+2
+		for i := lo; i < hi && i < len(n.counts); i++ {
+			n.counts[i]++ // legal: i is shard-derived via lo
+		}
+		n.rings[shard].clear() // legal: shard-derived receiver chain
+		n.steps = shard        //!lint phase-ownership
+		total += shard         //!lint phase-ownership
+		n.reset()              //!lint phase-ownership
+		//vichar:nolint phase-ownership fixture: the accumulator is merged serially after the barrier
+		waived += shard
+	})
+	n.steps = total + waived
+}

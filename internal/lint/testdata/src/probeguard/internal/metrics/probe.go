@@ -1,0 +1,25 @@
+// Package metrics is a lint fixture standing in for the real
+// observability layer: its import path ends in /internal/metrics, so
+// probe-guard treats calls into it as probe accesses. It declares one
+// nil-receiver-safe method (the probe convention) and one that is
+// not, so the caller-side fixture can exercise both directions.
+package metrics
+
+// Probe is a minimal recorder handle; a nil Probe means observability
+// is disabled.
+type Probe struct{ n int }
+
+// Inc is NOT nil-receiver-safe: callers must guard it.
+func (p *Probe) Inc() { p.n++ }
+
+// Observe follows the probe convention: the first statement bails out
+// on a nil receiver, so unguarded calls are legal.
+func (p *Probe) Observe(v int) {
+	if p == nil {
+		return
+	}
+	p.n += v
+}
+
+// NewProbe wires a live probe.
+func NewProbe() *Probe { return &Probe{} }

@@ -1,0 +1,53 @@
+// Package router is a lint fixture for the probe-guard rule: a
+// deterministic package calling into an internal/metrics package.
+// Lines expecting a diagnostic carry an end-of-line marker checked by
+// the engine's tests.
+package router
+
+import "vichar/internal/lint/testdata/src/probeguard/internal/metrics"
+
+// Router wires an optional probe, nil when observability is off.
+type Router struct {
+	probe *metrics.Probe
+}
+
+// New wires probes at construction time: the constructor carve-out
+// keeps build-time calls unflagged.
+func New() *Router {
+	r := &Router{probe: metrics.NewProbe()}
+	r.probe.Inc()
+	return r
+}
+
+// inc calls a non-nil-safe method with no dominating guard: flagged.
+func (r *Router) inc() {
+	r.probe.Inc() //!lint probe-guard
+}
+
+// incGuarded dominates the access with a then-branch guard: legal.
+func (r *Router) incGuarded() {
+	if r.probe != nil {
+		r.probe.Inc()
+	}
+}
+
+// incEarlyExit guards with an early return before the access: legal.
+func (r *Router) incEarlyExit() {
+	if r.probe == nil {
+		return
+	}
+	r.probe.Inc()
+}
+
+// observe calls the nil-receiver-safe method unguarded: legal, the
+// callee bails out on nil itself.
+func (r *Router) observe(v int) {
+	r.probe.Observe(v)
+}
+
+// incWaived documents why the unguarded access is safe: the
+// justified annotation waives the rule.
+func (r *Router) incWaived() {
+	//vichar:nolint probe-guard fixture: this router is only built by New, which always wires the probe
+	r.probe.Inc()
+}

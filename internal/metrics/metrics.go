@@ -159,6 +159,7 @@ func (rec *Recorder) StageEvent(e Event) {
 	if !rec.trace {
 		return
 	}
+	//vichar:alloc the staging buffer grows to the per-tick event peak, then Drain resets it to length zero in place
 	rec.events = append(rec.events, e)
 }
 

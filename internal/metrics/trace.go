@@ -91,6 +91,7 @@ func (t *Tracer) Drain(recs []*Recorder) {
 			e.Seq = t.next
 			t.next++
 			if len(t.buf) < t.cap {
+				//vichar:alloc the ring fills to its fixed cap once, then overwrites slots in place
 				t.buf = append(t.buf, e)
 			} else {
 				t.buf[int(e.Seq)%t.cap] = e

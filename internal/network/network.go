@@ -61,6 +61,7 @@ type flitLink struct {
 
 // SendFlit enqueues f for delivery delay cycles from now.
 func (l *flitLink) SendFlit(f *flit.Flit, now int64) {
+	//vichar:alloc in-flight queue is bounded by link occupancy; tick resets it to its backing array, so capacity reaches steady state after warm-up
 	l.q = append(l.q, timedFlit{f: f, at: now + l.delay})
 }
 
@@ -132,6 +133,7 @@ type creditLink struct {
 
 // SendCredit enqueues c for delivery delay cycles from now.
 func (l *creditLink) SendCredit(c flit.Credit, now int64) {
+	//vichar:alloc in-flight queue is bounded by link occupancy; tick resets it to its backing array, so capacity reaches steady state after warm-up
 	l.q = append(l.q, timedCredit{c: c, at: now + l.delay})
 }
 
@@ -191,7 +193,10 @@ type ni struct {
 	probe *metrics.NIProbe
 }
 
-func (s *ni) enqueue(p *flit.Packet) { s.queue = append(s.queue, p) }
+func (s *ni) enqueue(p *flit.Packet) {
+	//vichar:alloc one append per generated packet, amortized by tick's queue compaction — not per-cycle churn
+	s.queue = append(s.queue, p)
+}
 
 func (s *ni) queued() int { return len(s.queue) - s.qhead }
 
@@ -207,6 +212,7 @@ func (s *ni) tick(now int64) {
 				s.qhead = 0
 			}
 			p.InjectedAt = now
+			//vichar:alloc packet materialization allocates its flits once at injection, amortized over the packet's network lifetime
 			s.cur = flit.MakeFlits(p)
 			s.idx = 0
 			s.vc = vc
@@ -265,6 +271,21 @@ type Network struct {
 	// the lazily created worker pool behind runSharded.
 	shardCount int
 	exec       *shardExecutor
+
+	// Phase closures bound once at construction: Step and audit hand
+	// runSharded (and the traffic generator) the same values every
+	// cycle instead of allocating a fresh closure per call. The shard
+	// methods read n.now themselves, so no per-cycle capture is needed.
+	deliverFn      func(shard int)
+	computeFn      func(shard int)
+	auditLinksFn   func(shard int)
+	auditRoutersFn func(shard int)
+	injectFn       func(src, dst, size int)
+
+	// samplePerNode is sample's per-node VC-usage scratch; the
+	// collector consumes the values synchronously and never retains
+	// the slice.
+	samplePerNode []float64
 
 	// auditedLinks holds every credit-carrying link's conservation
 	// parties; checked per step when cfg.Audit is set. auditStates and
@@ -500,6 +521,7 @@ func New(cfg *config.Config) *Network {
 		node := id
 		ej := &flitLink{delay: router.FlitDelay}
 		ej.deliver = func(f *flit.Flit, now int64) {
+			//vichar:alloc staging slice is reset to length 0 each commit, so its capacity reaches the per-cycle ejection peak and stays there
 			n.pendingEject[node] = append(n.pendingEject[node], f)
 		}
 		n.plan[id].flits = append(n.plan[id].flits, ej)
@@ -530,6 +552,15 @@ func New(cfg *config.Config) *Network {
 	}
 
 	n.gen = traffic.New(cfg, mesh)
+
+	// Bind the phase closures once; Step and audit reuse them every
+	// cycle (see the field comments on Network).
+	n.deliverFn = n.deliverShard
+	n.computeFn = n.computeShard
+	n.auditLinksFn = n.auditLinksShard
+	n.auditRoutersFn = n.auditRoutersShard
+	n.injectFn = n.injectGenerated
+	n.samplePerNode = make([]float64, mesh.Nodes())
 	return n
 }
 
@@ -556,6 +587,7 @@ func (n *Network) InjectPacket(src, dst int) *flit.Packet {
 // (variable-size packet protocol).
 func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
 	n.nextID++
+	//vichar:alloc one packet object per generated packet — the protocol unit, not per-cycle churn
 	p := &flit.Packet{
 		ID:        n.nextID,
 		Src:       src,
@@ -568,10 +600,15 @@ func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
 	n.nis[src].enqueue(p)
 	n.netProbe.PacketCreated(n.now, p.ID, src)
 	if n.recording {
+		//vichar:alloc trace recording is an opt-in diagnostic mode; one entry per recorded packet
 		n.recorded = append(n.recorded, trace.Entry{Cycle: n.now, Src: src, Dst: dst, Size: size})
 	}
 	return p
 }
+
+// injectGenerated adapts InjectPacketSized to the traffic generator's
+// callback signature; bound once in New as n.injectFn.
+func (n *Network) injectGenerated(src, dst, size int) { n.InjectPacketSized(src, dst, size) }
 
 // RecordTrace turns on packet-creation recording; RecordedTrace
 // returns the events captured so far.
@@ -634,11 +671,13 @@ func (n *Network) eject(f *flit.Flit, now int64) {
 	n.collector.PacketEjected(p, now)
 	if !was && n.collector.Measuring() && !n.haveStart {
 		n.startSnap = n.totalCounters()
+		//vichar:alloc measurement-window snapshot, taken at most once per run
 		n.linkStartSnap = append([]uint64(nil), n.linkFlits...)
 		n.haveStart = true
 	}
 	if was && !n.collector.Measuring() && !n.haveEnd {
 		n.endSnap = n.totalCounters()
+		//vichar:alloc measurement-window snapshot, taken at most once per run
 		n.linkEndSnap = append([]uint64(nil), n.linkFlits...)
 		n.haveEnd = true
 	}
@@ -690,18 +729,7 @@ func (n *Network) totalCounters() stats.Counters {
 func (n *Network) Step() {
 	n.now++
 	now := n.now
-	n.runSharded(func(shard int) {
-		lo, hi := n.shardBounds(shard)
-		for id := lo; id < hi; id++ {
-			rl := &n.plan[id]
-			for _, l := range rl.flits {
-				l.tick(now)
-			}
-			for _, l := range rl.credits {
-				l.tick(now)
-			}
-		}
-	})
+	n.runSharded(n.deliverFn)
 	for id := range n.pendingEject {
 		staged := n.pendingEject[id]
 		for i, f := range staged {
@@ -711,26 +739,49 @@ func (n *Network) Step() {
 		n.pendingEject[id] = staged[:0]
 	}
 	if n.cfg.InjectionRate > 0 {
-		n.gen.Tick(now, func(src, dst, size int) { n.InjectPacketSized(src, dst, size) })
+		n.gen.Tick(now, n.injectFn)
 	}
 	for n.scheduleIdx < len(n.schedule) && n.schedule[n.scheduleIdx].Cycle <= now {
 		e := n.schedule[n.scheduleIdx]
 		n.scheduleIdx++
 		n.InjectPacketSized(e.Src, e.Dst, e.Size)
 	}
-	n.runSharded(func(shard int) {
-		lo, hi := n.shardBounds(shard)
-		for id := lo; id < hi; id++ {
-			n.nis[id].tick(now)
-			n.routers[id].Tick(now)
-		}
-	})
+	n.runSharded(n.computeFn)
 	if n.cfg.Audit {
 		n.audit(now)
 	}
 	if now%n.cfg.SampleEvery == 0 {
 		n.sample(now)
 		n.flushObs()
+	}
+}
+
+// deliverShard is phase 1 for one shard: every link in the shard's
+// routers' plans delivers its due flits and credits. Reads n.now
+// itself (set before the phase barrier) so the bound closure carries
+// no per-cycle state.
+func (n *Network) deliverShard(shard int) {
+	now := n.now
+	lo, hi := n.shardBounds(shard)
+	for id := lo; id < hi; id++ {
+		rl := &n.plan[id]
+		for _, l := range rl.flits {
+			l.tick(now)
+		}
+		for _, l := range rl.credits {
+			l.tick(now)
+		}
+	}
+}
+
+// computeShard is phase 3 for one shard: the shard's network
+// interfaces and routers evaluate their pipelines.
+func (n *Network) computeShard(shard int) {
+	now := n.now
+	lo, hi := n.shardBounds(shard)
+	for id := lo; id < hi; id++ {
+		n.nis[id].tick(now)
+		n.routers[id].Tick(now)
 	}
 }
 
@@ -792,52 +843,15 @@ func (n *Network) Close() { n.stopKernel() }
 // the same one the serial kernel would find. Any violation is a
 // simulator bug and panics.
 func (n *Network) audit(now int64) {
-	errs := n.auditErrs
-	n.runSharded(func(shard int) {
-		states := n.auditStates[shard][:0]
-		lo, hi := chunkBounds(len(n.auditedLinks), n.shardCount, shard)
-		for _, al := range n.auditedLinks[lo:hi] {
-			states = append(states, audit.LinkState{
-				Name:               al.name,
-				Outstanding:        al.view.OutstandingFlits(),
-				InFlightFlits:      al.fl.inflight(),
-				DownstreamOccupied: al.buf.Occupied(),
-				InFlightCredits:    al.cl.inflight(),
-				RetxHeld:           al.retxHeld(),
-			})
-		}
-		n.auditStates[shard] = states
-		errs[shard] = audit.CheckLinks(states)
-		if errs[shard] == nil {
-			for _, al := range n.auditedLinks[lo:hi] {
-				fs := al.fl.faults
-				if fs == nil {
-					continue
-				}
-				if err := audit.CheckLinkFaults(al.name, fs.Drops, fs.Corrupts, fs.Retransmits, fs.Held()); err != nil {
-					errs[shard] = err
-					break
-				}
-			}
-		}
-	})
-	for _, err := range errs {
+	n.runSharded(n.auditLinksFn)
+	for _, err := range n.auditErrs {
 		if err != nil {
 			//vichar:invariant a conservation imbalance means flow-control state corrupted mid-run; continuing would corrupt results
 			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
 		}
 	}
-	n.runSharded(func(shard int) {
-		errs[shard] = nil
-		lo, hi := n.shardBounds(shard)
-		for id := lo; id < hi; id++ {
-			if err := n.routers[id].AuditInvariants(); err != nil {
-				errs[shard] = err
-				return
-			}
-		}
-	})
-	for _, err := range errs {
+	n.runSharded(n.auditRoutersFn)
+	for _, err := range n.auditErrs {
 		if err != nil {
 			//vichar:invariant a UBS bookkeeping divergence means buffered flits can be lost or duplicated; continuing would corrupt results
 			panic(fmt.Sprintf("network: cycle %d: %v", now, err))
@@ -845,10 +859,55 @@ func (n *Network) audit(now int64) {
 	}
 }
 
+// auditLinksShard checks credit conservation over the shard's chunk
+// of audited links, writing only its own auditStates/auditErrs slots.
+func (n *Network) auditLinksShard(shard int) {
+	states := n.auditStates[shard][:0]
+	lo, hi := chunkBounds(len(n.auditedLinks), n.shardCount, shard)
+	for _, al := range n.auditedLinks[lo:hi] {
+		//vichar:alloc appends into the shard's reusable audit-state scratch; capacity reaches the chunk size after the first audited cycle
+		states = append(states, audit.LinkState{
+			Name:               al.name,
+			Outstanding:        al.view.OutstandingFlits(),
+			InFlightFlits:      al.fl.inflight(),
+			DownstreamOccupied: al.buf.Occupied(),
+			InFlightCredits:    al.cl.inflight(),
+			RetxHeld:           al.retxHeld(),
+		})
+	}
+	n.auditStates[shard] = states
+	n.auditErrs[shard] = audit.CheckLinks(states)
+	if n.auditErrs[shard] == nil {
+		for _, al := range n.auditedLinks[lo:hi] {
+			fs := al.fl.faults
+			if fs == nil {
+				continue
+			}
+			if err := audit.CheckLinkFaults(al.name, fs.Drops, fs.Corrupts, fs.Retransmits, fs.Held()); err != nil {
+				n.auditErrs[shard] = err
+				break
+			}
+		}
+	}
+}
+
+// auditRoutersShard runs the UBS invariant auditor over the shard's
+// routers, recording the first violation in its auditErrs slot.
+func (n *Network) auditRoutersShard(shard int) {
+	n.auditErrs[shard] = nil
+	lo, hi := n.shardBounds(shard)
+	for id := lo; id < hi; id++ {
+		if err := n.routers[id].AuditInvariants(); err != nil {
+			n.auditErrs[shard] = err
+			return
+		}
+	}
+}
+
 // sample records occupancy and VC-usage statistics.
 func (n *Network) sample(now int64) {
 	occ, slots := 0, 0
-	perNode := make([]float64, len(n.routers))
+	perNode := n.samplePerNode
 	for i, r := range n.routers {
 		occ += r.Occupied()
 		slots += r.TotalSlots()

@@ -34,8 +34,10 @@ type shardExecutor struct {
 // newShardExecutor starts a pool of workers goroutines blocked on the
 // shard channel.
 func newShardExecutor(workers int) *shardExecutor {
+	//vichar:alloc one-time lazy pool construction on the first parallel Step; the pool lives for the network's lifetime
 	e := &shardExecutor{workers: workers, shards: make(chan int, workers)}
 	for w := 0; w < workers; w++ {
+		//vichar:alloc the worker goroutines are spawned once and reused for every subsequent phase barrier
 		go e.work()
 	}
 	return e

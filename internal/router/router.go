@@ -127,10 +127,20 @@ type Router struct {
 	saNominee []int // per input port: winning VC or -1
 	vaReq     []bool
 	saReq     []bool
-	vaPicks   []vaPick // generic VA stage 1, by flat input-VC id
-	vaFlats   []int    // flat ids picked this cycle, ascending
-	vaKeys    []int    // contested output VCs (op*maxVCs+ovc)
-	vaGroups  [][]int  // per output VC: requesting flat ids
+	vaNoms    []vaNominee // ViChaR VA: per input port nominee
+	vaPicks   []vaPick    // generic VA stage 1, by flat input-VC id
+	vaFlats   []int       // flat ids picked this cycle, ascending
+	vaKeys    []int       // contested output VCs (op*maxVCs+ovc)
+	vaGroups  [][]int     // per output VC: requesting flat ids
+}
+
+// vaNominee is the per-input-port nomination of the ViChaR VA stage:
+// the winning input VC (or -1), its chosen output port and whether
+// the packet is on the escape network.
+type vaNominee struct {
+	invc   int
+	port   int
+	escape bool
 }
 
 // routeFor returns the routing function implementation for the
@@ -202,6 +212,7 @@ func New(id int, cfg *config.Config, mesh topology.Mesh) *Router {
 	}
 	r.vaReq = make([]bool, p*r.maxVCs)
 	r.saReq = make([]bool, p)
+	r.vaNoms = make([]vaNominee, p)
 	if cfg.Arch != config.ViChaR {
 		r.vaPicks = make([]vaPick, p*r.maxVCs)
 		r.vaFlats = make([]int, 0, p*r.maxVCs)
@@ -324,9 +335,11 @@ func (r *Router) tickRC(now int64) {
 			}
 			st.pkt = f.Pkt
 			if f.Pkt.Escaped {
-				st.cands = []int{r.escapePort(f.Pkt.Dst)}
+				//vichar:alloc appends into the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
+				st.cands = append(st.cands[:0], r.escapePort(f.Pkt.Dst))
 			} else {
-				st.cands = r.route.Candidates(r.mesh, r.id, f.Pkt.Dst)
+				//vichar:alloc AppendCandidates fills the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
+				st.cands = r.route.AppendCandidates(st.cands[:0], r.mesh, r.id, f.Pkt.Dst)
 			}
 			st.state = vcWaitVA
 			st.waitSince = now
@@ -382,7 +395,8 @@ func (r *Router) escapeCheck(now int64) {
 			}
 			if now-st.waitSince > int64(r.cfg.DeadlockThreshold) {
 				st.pkt.Escaped = true
-				st.cands = []int{r.escapePort(st.pkt.Dst)}
+				//vichar:alloc rewrites the VC's cands scratch in place; RC already grew it to hold at least one port
+				st.cands = append(st.cands[:0], r.escapePort(st.pkt.Dst))
 				r.Counters.EscapeReroutes++
 				r.probe.EscapeReroute()
 			}
@@ -419,12 +433,7 @@ func (r *Router) tickVA(now int64) {
 // among nominees; the winner's packet receives the next free token
 // from the output's dispenser view.
 func (r *Router) tickVAViChaR(now int64) {
-	type nominee struct {
-		invc   int
-		port   int // chosen output port
-		escape bool
-	}
-	noms := make([]nominee, r.ports)
+	noms := r.vaNoms
 	for i := range noms {
 		noms[i].invc = -1
 	}
@@ -458,7 +467,7 @@ func (r *Router) tickVAViChaR(now int64) {
 		}
 		st := &in.vc[w]
 		p := r.bestCandidate(st, st.pkt.Escaped)
-		noms[ip] = nominee{invc: w, port: p, escape: st.pkt.Escaped}
+		noms[ip] = vaNominee{invc: w, port: p, escape: st.pkt.Escaped}
 	}
 	// Stage 2: one grant per output port.
 	req2 := r.saReq // reuse scratch: per input port
@@ -545,6 +554,7 @@ func (r *Router) tickVAGeneric(now int64) {
 			}
 			flat := ip*r.maxVCs + v
 			picks[flat] = vaPick{op: op, ovc: ovc, escape: escape, valid: true}
+			//vichar:alloc the nomination scratch is pre-sized to ports*maxVCs at construction; append never exceeds that capacity
 			flats = append(flats, flat)
 			r.Counters.VAOps++
 			r.probe.VAOp()
@@ -565,8 +575,10 @@ func (r *Router) tickVAGeneric(now int64) {
 		pk := picks[flat]
 		k := pk.op*r.maxVCs + pk.ovc
 		if len(groups[k]) == 0 {
+			//vichar:alloc the key scratch is pre-sized to ports*maxVCs at construction; append never exceeds that capacity
 			keys = append(keys, k)
 		}
+		//vichar:alloc each group row grows to at most the input VC count once, then is reset to length zero per tick
 		groups[k] = append(groups[k], flat)
 	}
 	r.vaKeys = keys
@@ -693,7 +705,12 @@ func (r *Router) forward(ip, v, op int, now int64) {
 	r.out[op].conn.SendFlit(f, now)
 
 	if f.IsTail() {
+		// Reset the VC state machine but keep the cands backing array:
+		// dropping it would make the next packet's routing computation
+		// reallocate on every VC turnover.
+		cands := st.cands[:0]
 		*st = vcState{}
+		st.cands = cands
 	}
 }
 

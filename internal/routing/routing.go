@@ -20,6 +20,10 @@ type Function interface {
 	// order is deterministic (X-direction first), so deterministic
 	// functions return exactly one port.
 	Candidates(m topology.Mesh, cur, dst int) []int
+	// AppendCandidates appends the same candidate set to out and
+	// returns the extended slice, letting tick-path callers reuse a
+	// scratch buffer instead of allocating per routing computation.
+	AppendCandidates(out []int, m topology.Mesh, cur, dst int) []int
 	// Deterministic reports whether Candidates always returns a
 	// single port (and therefore whether the function is
 	// deadlock-free on its own).
@@ -36,8 +40,14 @@ type Function interface {
 type XY struct{}
 
 // Candidates returns the single dimension-ordered port.
-func (XY) Candidates(m topology.Mesh, cur, dst int) []int {
-	return []int{xyPort(m, cur, dst)}
+func (x XY) Candidates(m topology.Mesh, cur, dst int) []int {
+	return x.AppendCandidates(nil, m, cur, dst)
+}
+
+// AppendCandidates appends the single dimension-ordered port to out.
+func (XY) AppendCandidates(out []int, m topology.Mesh, cur, dst int) []int {
+	//vichar:alloc grows the caller's scratch to capacity 1 on the first routing computation, then reuses it
+	return append(out, xyPort(m, cur, dst))
 }
 
 // Deterministic is always true for XY.
@@ -109,20 +119,28 @@ func EscapePort(m topology.Mesh, cur, dst int) int {
 type MinimalAdaptive struct{}
 
 // Candidates returns every port on a minimal path, X direction first.
-func (MinimalAdaptive) Candidates(m topology.Mesh, cur, dst int) []int {
+func (a MinimalAdaptive) Candidates(m topology.Mesh, cur, dst int) []int {
+	return a.AppendCandidates(nil, m, cur, dst)
+}
+
+// AppendCandidates appends every port on a minimal path to out, X
+// direction first.
+func (MinimalAdaptive) AppendCandidates(out []int, m topology.Mesh, cur, dst int) []int {
 	cx, cy := m.XY(cur)
 	dx, dy := m.XY(dst)
 	if cx == dx && cy == dy {
-		return []int{topology.Local}
+		//vichar:alloc grows the caller's scratch to capacity ≤ 2 on early routing computations, then reuses it
+		return append(out, topology.Local)
 	}
-	cands := make([]int, 0, 2)
 	if cx != dx {
-		cands = append(cands, xDir(m, cx, dx))
+		//vichar:alloc grows the caller's scratch to capacity ≤ 2 on early routing computations, then reuses it
+		out = append(out, xDir(m, cx, dx))
 	}
 	if cy != dy {
-		cands = append(cands, yDir(m, cy, dy))
+		//vichar:alloc grows the caller's scratch to capacity ≤ 2 on early routing computations, then reuses it
+		out = append(out, yDir(m, cy, dy))
 	}
-	return cands
+	return out
 }
 
 // Deterministic is always false for minimal adaptive routing.

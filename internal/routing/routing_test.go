@@ -190,6 +190,9 @@ type prematureEjector struct{}
 func (prematureEjector) Candidates(m topology.Mesh, cur, dst int) []int {
 	return []int{topology.Local}
 }
+func (prematureEjector) AppendCandidates(out []int, m topology.Mesh, cur, dst int) []int {
+	return append(out, topology.Local)
+}
 func (prematureEjector) Deterministic() bool { return true }
 func (prematureEjector) String() string      { return "broken" }
 
@@ -198,6 +201,9 @@ type edgeRunner struct{}
 
 func (edgeRunner) Candidates(m topology.Mesh, cur, dst int) []int {
 	return []int{topology.North}
+}
+func (edgeRunner) AppendCandidates(out []int, m topology.Mesh, cur, dst int) []int {
+	return append(out, topology.North)
 }
 func (edgeRunner) Deterministic() bool { return true }
 func (edgeRunner) String() string      { return "edge" }
