@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-hot alloc-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs experiments paper synth examples clean
+.PHONY: all build vet lint lint-hot alloc-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs bench-compare bench-smoke experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -83,9 +83,26 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # The two-phase cycle kernel sweep (all four architectures, workers
-# 1/2/max on an 8x8 mesh near saturation), persisted as BENCH_kernel.json.
+# 1/2/max near saturation plus a single-threaded near-idle point on an
+# 8x8 mesh), persisted as BENCH_kernel.json with host provenance. The
+# harness warns when the artifact it is about to replace (or
+# VICHAR_BENCH_BASELINE) was recorded with a different GOMAXPROCS.
 bench-kernel:
 	VICHAR_BENCH_JSON=$(CURDIR)/BENCH_kernel.json $(GO) test . -run TestKernelBenchArtifact -v
+
+# Re-measure the kernel sweep into a scratch artifact and print a
+# benchstat-style delta report against the checked-in
+# BENCH_kernel.json, without touching it.
+bench-compare:
+	VICHAR_BENCH_JSON=$(CURDIR)/results/BENCH_kernel_new.json \
+		VICHAR_BENCH_BASELINE=$(CURDIR)/BENCH_kernel.json \
+		sh -c 'mkdir -p results && $(GO) test . -run TestKernelBenchArtifact -v'
+	$(GO) run ./cmd/vichar-benchcmp BENCH_kernel.json results/BENCH_kernel_new.json
+
+# One fast iteration of every kernel benchmark cell — CI's guard that
+# the benchmark harness itself can never silently rot.
+bench-smoke:
+	$(GO) test . -run 'TestNone$$' -bench BenchmarkKernel -benchtime 1x
 
 # Observability overhead sweep (disabled / metrics / metrics+trace on
 # the kernel benchmark platform), persisted as BENCH_obs.json. Set

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vichar"
+	"vichar/internal/benchfmt"
 )
 
 // obsBenchModes are the instrumentation levels the overhead gate
@@ -35,7 +36,7 @@ var obsBenchModes = []struct {
 // obsBenchConfig is kernelBenchConfig's platform with one
 // observability mode applied.
 func obsBenchConfig(mode int) vichar.Config {
-	cfg := kernelBenchConfig(vichar.ViChaR, 1)
+	cfg := kernelBenchConfig(vichar.ViChaR, kernelSaturatedRate, 1)
 	cfg.Metrics = obsBenchModes[mode].metrics
 	cfg.TraceEvents = obsBenchModes[mode].trace
 	return cfg
@@ -83,15 +84,17 @@ func TestObsBenchArtifact(t *testing.T) {
 		RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
 	}
 	artifact := struct {
-		Mesh           string  `json:"mesh"`
-		Arch           string  `json:"arch"`
-		InjectionRate  float64 `json:"injection_rate"`
-		GOMAXPROCS     int     `json:"gomaxprocs"`
-		Rounds         int     `json:"median_of_rounds"`
-		SeedNsPerRun   int64   `json:"seed_ns_per_run,omitempty"`
-		DisabledVsSeed float64 `json:"disabled_vs_seed_pct,omitempty"`
-		Rows           []row   `json:"rows"`
-	}{Mesh: "8x8", Arch: "ViC-16", InjectionRate: 0.40, GOMAXPROCS: runtime.GOMAXPROCS(0), Rounds: 7}
+		Mesh           string        `json:"mesh"`
+		Arch           string        `json:"arch"`
+		InjectionRate  float64       `json:"injection_rate"`
+		GOMAXPROCS     int           `json:"gomaxprocs"`
+		Host           benchfmt.Host `json:"host"`
+		Rounds         int           `json:"median_of_rounds"`
+		SeedNsPerRun   int64         `json:"seed_ns_per_run,omitempty"`
+		DisabledVsSeed float64       `json:"disabled_vs_seed_pct,omitempty"`
+		Rows           []row         `json:"rows"`
+	}{Mesh: "8x8", Arch: "ViC-16", InjectionRate: kernelSaturatedRate,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Host: benchfmt.CurrentHost(), Rounds: 7}
 
 	const runsPerRound = 3
 	benchCfg := obsBenchConfig(0)

@@ -17,6 +17,7 @@ import (
 
 	"vichar"
 	"vichar/experiments"
+	"vichar/internal/benchfmt"
 )
 
 // benchOpts is the reduced, shape-preserving protocol used by the
@@ -390,13 +391,21 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // --- Two-phase cycle kernel (DESIGN.md §10) ---
 
+// The two injection rates of the kernel sweep: near saturation
+// (compute dominates, sharding has the most work to parallelize) and
+// near idle (most routers are quiet most cycles — the active-router
+// worklist's home turf).
+const (
+	kernelSaturatedRate = 0.40
+	kernelIdleRate      = 0.05
+)
+
 // kernelBenchConfig is the kernel benchmark platform: the paper's 8x8
-// mesh driven near saturation, where the compute phase dominates and
-// sharding has the most work to parallelize.
-func kernelBenchConfig(arch vichar.BufferArch, workers int) vichar.Config {
+// mesh at the given injection rate.
+func kernelBenchConfig(arch vichar.BufferArch, rate float64, workers int) vichar.Config {
 	cfg := vichar.DefaultConfig()
 	cfg.Arch = arch
-	cfg.InjectionRate = 0.40
+	cfg.InjectionRate = rate
 	cfg.WarmupPackets, cfg.MeasurePackets = 500, 2_000
 	cfg.MaxCycles = 80_000
 	cfg.Seed = 7
@@ -429,16 +438,40 @@ func runKernelOnce(cfg vichar.Config) (int64, error) {
 	return res.TotalCycles, nil
 }
 
+// kernelSweepCells enumerates the kernel sweep: the saturated rate
+// across worker counts 1/2/max, plus the idle rate single-threaded
+// (worker scaling is uninteresting when almost every router sleeps).
+func kernelSweepCells() []struct {
+	Rate    float64
+	Workers int
+} {
+	var cells []struct {
+		Rate    float64
+		Workers int
+	}
+	for _, w := range kernelWorkerCounts() {
+		cells = append(cells, struct {
+			Rate    float64
+			Workers int
+		}{kernelSaturatedRate, w})
+	}
+	cells = append(cells, struct {
+		Rate    float64
+		Workers int
+	}{kernelIdleRate, 1})
+	return cells
+}
+
 // BenchmarkKernel measures the two-phase cycle kernel across all four
-// buffer architectures and worker counts 1/2/max. The per-iteration
-// work is identical at every worker count (results are bit-identical
-// by the kernel's determinism contract), so ns/op ratios are pure
-// speedup.
+// buffer architectures, the saturated/idle rate pair, and worker
+// counts 1/2/max. The per-iteration work is identical at every worker
+// count (results are bit-identical by the kernel's determinism
+// contract), so ns/op ratios are pure speedup.
 func BenchmarkKernel(b *testing.B) {
 	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
-		for _, w := range kernelWorkerCounts() {
-			cfg := kernelBenchConfig(arch, w)
-			b.Run(fmt.Sprintf("%s/workers=%d", arch, w), func(b *testing.B) {
+		for _, pt := range kernelSweepCells() {
+			cfg := kernelBenchConfig(arch, pt.Rate, pt.Workers)
+			b.Run(fmt.Sprintf("%s/rate=%.2f/workers=%d", arch, pt.Rate, pt.Workers), func(b *testing.B) {
 				var cycles int64
 				for i := 0; i < b.N; i++ {
 					c, err := runKernelOnce(cfg)
@@ -456,32 +489,40 @@ func BenchmarkKernel(b *testing.B) {
 
 // TestKernelBenchArtifact writes BENCH_kernel.json — the kernel sweep
 // of BenchmarkKernel with per-architecture speedups relative to the
-// serial kernel — when VICHAR_BENCH_JSON names the output path (see
-// `make bench-kernel`). Skipped otherwise: it spends seconds per
-// (architecture, workers) cell.
+// serial kernel and the host provenance block — when VICHAR_BENCH_JSON
+// names the output path (see `make bench-kernel`). Skipped otherwise:
+// it spends seconds per (architecture, rate, workers) cell.
+//
+// If the output path (or VICHAR_BENCH_BASELINE, when set) already
+// holds an artifact recorded with a different GOMAXPROCS, a warning
+// is printed: speedup columns from different host shapes are not
+// comparable.
 func TestKernelBenchArtifact(t *testing.T) {
 	path := os.Getenv("VICHAR_BENCH_JSON")
 	if path == "" {
 		t.Skip("set VICHAR_BENCH_JSON=<path> to write the kernel benchmark artifact")
 	}
-	type cell struct {
-		Arch               string  `json:"arch"`
-		Workers            int     `json:"workers"`
-		NsPerRun           int64   `json:"ns_per_run"`
-		RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
-		SpeedupVsSerial    float64 `json:"speedup_vs_serial"`
+	artifact := benchfmt.KernelArtifact{
+		Mesh:          "8x8",
+		InjectionRate: kernelSaturatedRate,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Host:          benchfmt.CurrentHost(),
 	}
-	artifact := struct {
-		Mesh          string  `json:"mesh"`
-		InjectionRate float64 `json:"injection_rate"`
-		GOMAXPROCS    int     `json:"gomaxprocs"`
-		Cells         []cell  `json:"cells"`
-	}{Mesh: "8x8", InjectionRate: 0.40, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	baseline := os.Getenv("VICHAR_BENCH_BASELINE")
+	if baseline == "" {
+		baseline = path
+	}
+	if prev, err := benchfmt.LoadKernel(baseline); err == nil {
+		for _, m := range prev.Host.Mismatch(artifact.Host) {
+			t.Logf("WARNING: baseline %s was recorded on a different host (%s); deltas vs it are not comparable", baseline, m)
+		}
+	}
 
 	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
-		var serialNs int64
-		for _, w := range kernelWorkerCounts() {
-			cfg := kernelBenchConfig(arch, w)
+		serialNs := map[float64]int64{}
+		for _, pt := range kernelSweepCells() {
+			cfg := kernelBenchConfig(arch, pt.Rate, pt.Workers)
 			var cycles int64
 			r := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -493,21 +534,22 @@ func TestKernelBenchArtifact(t *testing.T) {
 				}
 			})
 			perRun := r.T.Nanoseconds() / int64(r.N)
-			if w == 1 {
-				serialNs = perRun
+			if pt.Workers == 1 {
+				serialNs[pt.Rate] = perRun
 			}
 			speedup := 0.0
-			if serialNs > 0 {
-				speedup = float64(serialNs) / float64(perRun)
+			if s := serialNs[pt.Rate]; s > 0 {
+				speedup = float64(s) / float64(perRun)
 			}
-			artifact.Cells = append(artifact.Cells, cell{
+			artifact.Cells = append(artifact.Cells, benchfmt.KernelCell{
 				Arch:               arch.String(),
-				Workers:            w,
+				Workers:            pt.Workers,
+				InjectionRate:      pt.Rate,
 				NsPerRun:           perRun,
 				RouterCyclesPerSec: float64(cycles*int64(cfg.Nodes())) * 1e9 / float64(perRun),
 				SpeedupVsSerial:    speedup,
 			})
-			t.Logf("%s workers=%d: %d ns/run (%.2fx vs serial)", arch, w, perRun, speedup)
+			t.Logf("%s rate=%.2f workers=%d: %d ns/run (%.2fx vs serial)", arch, pt.Rate, pt.Workers, perRun, speedup)
 		}
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")

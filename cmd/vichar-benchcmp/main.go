@@ -1,0 +1,35 @@
+// Command vichar-benchcmp prints a benchstat-style delta report
+// between two kernel benchmark artifacts (the BENCH_kernel.json
+// schema), matching cells by (architecture, injection rate, workers)
+// and warning when the two were recorded on different host shapes.
+//
+//	vichar-benchcmp OLD.json NEW.json
+//
+// Exit status is non-zero only for unreadable input; regressions are
+// reported, not judged — this is a measurement tool, not a gate.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vichar/internal/benchfmt"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: vichar-benchcmp OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	old, err := benchfmt.LoadKernel(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cur, err := benchfmt.LoadKernel(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	benchfmt.WriteCompare(os.Stdout, old, cur)
+}

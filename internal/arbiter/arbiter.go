@@ -5,7 +5,10 @@
 // persistent requester is served within N grants.
 package arbiter
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Arbiter selects one winner among a set of requesters each cycle.
 type Arbiter interface {
@@ -56,6 +59,73 @@ func (a *RoundRobin) Arbitrate(requests []bool) int {
 		}
 	}
 	return -1
+}
+
+// ArbitrateMask is Arbitrate over a request bitmask: words holds one
+// bit per input (bit i of words[i/64] set when input i requests), and
+// bits at or above Size must be zero. It grants the same winner and
+// evolves the same priority state as Arbitrate on the equivalent bool
+// slice, but finds the winner with word scans and trailing-zero counts
+// instead of a per-input loop — the shape the router's hot VC masks
+// are already in.
+func (a *RoundRobin) ArbitrateMask(words []uint64) int {
+	if len(words)*64 < a.n {
+		//vichar:invariant a mask narrower than the arbiter means the caller wired the wrong port set
+		panic(fmt.Sprintf("arbiter: got %d mask bits for a %d-input arbiter", len(words)*64, a.n))
+	}
+	// First set bit at or after the priority pointer...
+	w := a.next >> 6
+	if m := words[w] &^ (1<<(uint(a.next)&63) - 1); m != 0 {
+		return a.grant(w<<6 + bits.TrailingZeros64(m))
+	}
+	for w++; w < len(words); w++ {
+		if m := words[w]; m != 0 {
+			return a.grant(w<<6 + bits.TrailingZeros64(m))
+		}
+	}
+	// ...then wrap to the first set bit before it.
+	for w = 0; w<<6 < a.next; w++ {
+		if m := words[w]; m != 0 {
+			idx := w<<6 + bits.TrailingZeros64(m)
+			if idx >= a.next {
+				break
+			}
+			return a.grant(idx)
+		}
+	}
+	return -1
+}
+
+// grant records idx as the winner and advances the priority pointer
+// past it, exactly as Arbitrate does.
+func (a *RoundRobin) grant(idx int) int {
+	a.next = idx + 1
+	if a.next == a.n {
+		a.next = 0
+	}
+	return idx
+}
+
+// NewRoundRobinBank returns count independent round-robin arbiters of
+// the given input width as one contiguous slice — the
+// struct-of-arrays layout the router uses so a tick's arbiter state
+// sits on adjacent cache lines instead of behind per-arbiter pointers.
+func NewRoundRobinBank(count, inputs int) []RoundRobin {
+	bank := make([]RoundRobin, count)
+	InitBank(bank, inputs)
+	return bank
+}
+
+// InitBank readies a caller-owned (typically arena-backed) slice of
+// round-robin arbiters with the given input width.
+func InitBank(bank []RoundRobin, inputs int) {
+	if inputs < 1 {
+		//vichar:invariant construction-time wiring error, same contract as NewRoundRobin
+		panic(fmt.Sprintf("arbiter: size must be positive, got %d", inputs))
+	}
+	for i := range bank {
+		bank[i] = RoundRobin{n: inputs}
+	}
 }
 
 // Matrix is a least-recently-served arbiter: a triangular matrix of

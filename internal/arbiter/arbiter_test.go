@@ -204,3 +204,66 @@ func TestWinnerExistenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: ArbitrateMask is bit-for-bit the mask-indexed twin of
+// Arbitrate — same winner and same priority-pointer evolution over any
+// request sequence, for sizes below, at and above one mask word.
+func TestArbitrateMaskEquivalence(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 63, 64, 65, 80, 128} {
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			a := NewRoundRobin(n)
+			b := NewRoundRobin(n)
+			req := make([]bool, n)
+			words := make([]uint64, (n+63)/64)
+			for step := 0; step < 200; step++ {
+				for i := range words {
+					words[i] = 0
+				}
+				for i := range req {
+					req[i] = rng.Intn(3) == 0
+					if req[i] {
+						words[i>>6] |= 1 << (uint(i) & 63)
+					}
+				}
+				if wa, wb := a.Arbitrate(req), b.ArbitrateMask(words); wa != wb {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestArbitrateMaskTooNarrowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("narrow mask did not panic")
+		}
+	}()
+	NewRoundRobin(65).ArbitrateMask([]uint64{0})
+}
+
+func TestRoundRobinBank(t *testing.T) {
+	bank := NewRoundRobinBank(3, 4)
+	if len(bank) != 3 {
+		t.Fatalf("bank size %d", len(bank))
+	}
+	for i := range bank {
+		if bank[i].Size() != 4 {
+			t.Fatalf("arbiter %d size %d", i, bank[i].Size())
+		}
+		if w := bank[i].Arbitrate([]bool{false, true, false, true}); w != 1 {
+			t.Fatalf("arbiter %d first grant %d", i, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-width bank did not panic")
+		}
+	}()
+	NewRoundRobinBank(1, 0)
+}

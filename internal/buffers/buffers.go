@@ -45,6 +45,12 @@ type Buffer interface {
 	// Front returns the flit at the head of vc if it is readable at
 	// cycle now, or nil.
 	Front(vc int, now int64) *flit.Flit
+	// Ready reports whether Front would return a flit, without
+	// materializing the pointer. Switch allocation polls every active
+	// VC each cycle and only needs the boolean; organizations with
+	// out-of-band arrival bookkeeping (the ViChaR UBS) answer it
+	// without touching flit storage.
+	Ready(vc int, now int64) bool
 	// Pop removes and returns the head of vc. It fails if Front would
 	// have returned nil.
 	Pop(vc int, now int64) (*flit.Flit, error)

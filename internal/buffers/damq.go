@@ -99,6 +99,11 @@ func (b *DAMQ) Front(vc int, now int64) *flit.Flit {
 	return f
 }
 
+// Ready reports whether Front would return a flit.
+func (b *DAMQ) Ready(vc int, now int64) bool {
+	return b.Front(vc, now) != nil
+}
+
 // Pop removes the queue head and occupies the read port for the
 // bookkeeping delay.
 func (b *DAMQ) Pop(vc int, now int64) (*flit.Flit, error) {

@@ -76,6 +76,11 @@ func (b *FCCB) Front(vc int, now int64) *flit.Flit {
 	return f
 }
 
+// Ready reports whether Front would return a flit.
+func (b *FCCB) Ready(vc int, now int64) bool {
+	return b.Front(vc, now) != nil
+}
+
 // Pop removes the VC's head flit.
 func (b *FCCB) Pop(vc int, now int64) (*flit.Flit, error) {
 	if b.Front(vc, now) == nil {

@@ -69,6 +69,11 @@ func (b *Generic) Front(vc int, now int64) *flit.Flit {
 	return f
 }
 
+// Ready reports whether Front would return a flit.
+func (b *Generic) Ready(vc int, now int64) bool {
+	return b.Front(vc, now) != nil
+}
+
 // Pop removes the head of the VC's queue.
 func (b *Generic) Pop(vc int, now int64) (*flit.Flit, error) {
 	if b.Front(vc, now) == nil {

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"vichar/internal/soa"
+)
 
 // Dispenser is the Token (VC) Dispenser: virtual channels are tokens,
 // "granted to new packets and then returned to the dispenser upon
@@ -20,8 +24,12 @@ import "fmt"
 // port, mirroring the VC availability of the downstream input port —
 // the placement of paper Figure 6.
 type Dispenser struct {
-	normal *Tracker
-	escape *Tracker
+	normal Tracker
+	escape Tracker
+	// hasEscape records whether an escape set was configured; the
+	// trackers are embedded by value so both availability bitmaps sit
+	// next to the dispenser's own fields.
+	hasEscape bool
 	// escBase is the first escape VC ID.
 	escBase int
 }
@@ -31,6 +39,12 @@ type Dispenser struct {
 // escapeVCs may be zero when the routing function is inherently
 // deadlock-free.
 func NewDispenser(vcs, escapeVCs int) *Dispenser {
+	return NewDispenserIn(nil, vcs, escapeVCs)
+}
+
+// NewDispenserIn is NewDispenser drawing the availability bitmaps from
+// the arena (nil-arena safe).
+func NewDispenserIn(a *soa.Arena, vcs, escapeVCs int) *Dispenser {
 	if vcs < 1 {
 		panic(fmt.Sprintf("core: dispenser needs at least one token, got %d", vcs))
 	}
@@ -38,9 +52,10 @@ func NewDispenser(vcs, escapeVCs int) *Dispenser {
 		panic(fmt.Sprintf("core: escape VCs (%d) must leave at least one regular token of %d", escapeVCs, vcs))
 	}
 	d := &Dispenser{escBase: vcs - escapeVCs}
-	d.normal = NewTracker(vcs - escapeVCs)
+	d.normal.init(vcs-escapeVCs, a)
 	if escapeVCs > 0 {
-		d.escape = NewTracker(escapeVCs)
+		d.hasEscape = true
+		d.escape.init(escapeVCs, a)
 	}
 	return d
 }
@@ -48,7 +63,7 @@ func NewDispenser(vcs, escapeVCs int) *Dispenser {
 // Tokens returns the total number of VC tokens.
 func (d *Dispenser) Tokens() int {
 	n := d.normal.Size()
-	if d.escape != nil {
+	if d.hasEscape {
 		n += d.escape.Size()
 	}
 	return n
@@ -59,7 +74,7 @@ func (d *Dispenser) FreeNormal() int { return d.normal.Free() }
 
 // FreeEscape returns the number of available escape tokens.
 func (d *Dispenser) FreeEscape() int {
-	if d.escape == nil {
+	if !d.hasEscape {
 		return 0
 	}
 	return d.escape.Free()
@@ -77,7 +92,7 @@ func (d *Dispenser) InUse() int { return d.Tokens() - d.FreeNormal() - d.FreeEsc
 // packets".
 func (d *Dispenser) Grant(escape bool) (vc int, ok bool) {
 	if escape {
-		if d.escape == nil {
+		if !d.hasEscape {
 			return -1, false
 		}
 		i := d.escape.Acquire()
@@ -95,7 +110,7 @@ func (d *Dispenser) Grant(escape bool) (vc int, ok bool) {
 
 // IsEscape reports whether the VC ID belongs to the escape set.
 func (d *Dispenser) IsEscape(vc int) bool {
-	return d.escape != nil && vc >= d.escBase
+	return d.hasEscape && vc >= d.escBase
 }
 
 // Return releases a previously granted token (the packet's tail left
@@ -105,7 +120,7 @@ func (d *Dispenser) Return(vc int) {
 		//vichar:invariant returning a token the dispenser never issued means VC id corruption upstream
 		panic(fmt.Sprintf("core: return of token %d outside dispenser of %d", vc, d.Tokens()))
 	}
-	if vc >= d.escBase && d.escape != nil {
+	if vc >= d.escBase && d.hasEscape {
 		d.escape.Release(vc - d.escBase)
 		return
 	}

@@ -1,42 +1,61 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+
+	"vichar/internal/soa"
+)
 
 // Tracker is the availability bookkeeping shared by the Slot
 // Availability Tracker and the VC Availability Tracker (paper Figure
 // 9 bottom-right and Figure 10 top-left): one bit per entry — 1 for
-// available, 0 for occupied — plus a pointer to the top-most
-// available entry. Acquire and Release are O(1) amortized, matching
-// the combinational single-cycle hardware.
+// available, 0 for occupied — plus a free count. Acquire grants the
+// top-most (lowest-numbered) available entry with a word scan and a
+// trailing-zero count, matching the combinational single-cycle
+// hardware; the bitmap words live in the network arena so every
+// tracker of a router sits on adjacent cache lines.
 type Tracker struct {
-	avail []bool
+	words []uint64
+	n     int
 	free  int
-	// next caches the top-most available pointer; it is advanced
-	// lazily and wraps on release of a lower index.
-	next int
 }
 
 // NewTracker returns a tracker over n entries, all available.
 func NewTracker(n int) *Tracker {
-	if n < 1 {
-		panic(fmt.Sprintf("core: tracker needs at least one entry, got %d", n))
-	}
-	t := &Tracker{avail: make([]bool, n), free: n}
-	for i := range t.avail {
-		t.avail[i] = true
-	}
+	t := &Tracker{}
+	t.init(n, nil)
 	return t
 }
 
+// init readies a (possibly embedded) tracker over n entries, drawing
+// its bitmap from the arena when one is supplied.
+func (t *Tracker) init(n int, a *soa.Arena) {
+	if n < 1 {
+		panic(fmt.Sprintf("core: tracker needs at least one entry, got %d", n))
+	}
+	t.n = n
+	t.free = n
+	t.words = a.TakeWords((n + 63) / 64)
+	for i := range t.words {
+		t.words[i] = ^uint64(0)
+	}
+	// Bits at or above n stay permanently zero so word scans never
+	// grant a phantom entry.
+	if r := uint(n) & 63; r != 0 {
+		t.words[len(t.words)-1] = 1<<r - 1
+	}
+}
+
 // Size returns the number of tracked entries.
-func (t *Tracker) Size() int { return len(t.avail) }
+func (t *Tracker) Size() int { return t.n }
 
 // Free returns the number of available entries.
 func (t *Tracker) Free() int { return t.free }
 
 // Available reports whether entry i is free.
 func (t *Tracker) Available(i int) bool {
-	return i >= 0 && i < len(t.avail) && t.avail[i]
+	return i >= 0 && i < t.n && t.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // Acquire claims and returns the top-most available entry, or -1 when
@@ -47,14 +66,12 @@ func (t *Tracker) Acquire() int {
 	if t.free == 0 {
 		return -1
 	}
-	n := len(t.avail)
-	for i := 0; i < n; i++ {
-		idx := (t.next + i) % n
-		if t.avail[idx] {
-			t.avail[idx] = false
+	for w, m := range t.words {
+		if m != 0 {
+			b := bits.TrailingZeros64(m)
+			t.words[w] = m &^ (1 << uint(b))
 			t.free--
-			t.next = (idx + 1) % n
-			return idx
+			return w<<6 + b
 		}
 	}
 	//vichar:invariant unreachable while free>0 — the free counter diverged from the availability bitmap
@@ -64,17 +81,15 @@ func (t *Tracker) Acquire() int {
 // Release marks entry i available again. Releasing a free entry is a
 // bookkeeping bug and panics.
 func (t *Tracker) Release(i int) {
-	if i < 0 || i >= len(t.avail) {
+	if i < 0 || i >= t.n {
 		//vichar:invariant releasing an entry outside the tracker means a corrupted slot id
-		panic(fmt.Sprintf("core: release of entry %d outside tracker of %d", i, len(t.avail)))
+		panic(fmt.Sprintf("core: release of entry %d outside tracker of %d", i, t.n))
 	}
-	if t.avail[i] {
+	bit := uint64(1) << (uint(i) & 63)
+	if t.words[i>>6]&bit != 0 {
 		//vichar:invariant double release — the slot-conservation bug the audit exists to catch
 		panic(fmt.Sprintf("core: double release of entry %d", i))
 	}
-	t.avail[i] = true
+	t.words[i>>6] |= bit
 	t.free++
-	if i < t.next {
-		t.next = i
-	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"vichar/internal/buffers"
 	"vichar/internal/flit"
+	"vichar/internal/soa"
 )
 
 // UBS is the Unified Buffer Structure of one router input port: a
@@ -21,10 +22,34 @@ import (
 // the cycle after they are written (buffer-write stage), exactly like
 // the generic parallel FIFO.
 type UBS struct {
-	slots   []*flit.Flit
-	tracker *Tracker
-	table   *Table
+	slots []*flit.Flit
+	// arrived[i] mirrors slots[i].ArrivedAt for occupied slots, so the
+	// switch allocator's per-cycle readiness polls stay inside the
+	// arena-backed side arrays instead of chasing flit pointers.
+	arrived []int64
+	// headArrived[vc] caches the arrival stamp of the VC's
+	// departing-flit pointer (neverReady when the row is empty), so
+	// Ready is one load: a waiting VC is polled every cycle but its
+	// head only changes on a push to an empty row or a pop.
+	headArrived []int64
+	// readyMask/pendMask accelerate the switch allocator's whole-port
+	// readiness poll to one AND per 64 VCs (DESIGN.md §14). Bit v of
+	// readyMask is set iff Ready(v, now) for every now > pendCycle;
+	// bits whose head arrived AT cycle pendCycle wait in pendMask and
+	// are promoted by the first operation of a later cycle. The stamps
+	// above stay authoritative; the masks are a derived overlay,
+	// cross-checked by CheckReadyMasks from the invariant audit.
+	readyMask []uint64
+	pendMask  []uint64
+	pendCycle int64
+	tracker   Tracker
+	table     Table
 }
+
+// neverReady marks an empty VC row in headArrived: no cycle count
+// reaches it, so Ready's single compare also answers "is there a
+// flit at all".
+const neverReady = int64(^uint64(0) >> 1)
 
 // NewUBS returns a unified buffer with the given slot count. The
 // number of VC rows equals the slot count: under full load every slot
@@ -35,18 +60,34 @@ func NewUBS(slots int) *UBS { return NewUBSWithVCs(slots, slots) }
 // NewUBSWithVCs returns a unified buffer whose control table has
 // fewer VC rows than slots; used by the ablation that caps the Token
 // Dispenser below the full vk.
-func NewUBSWithVCs(slots, vcs int) *UBS {
+func NewUBSWithVCs(slots, vcs int) *UBS { return NewUBSIn(nil, slots, vcs) }
+
+// NewUBSIn is NewUBSWithVCs drawing the slot array, tracker bitmap and
+// control-table rings from the arena (nil-arena safe), so the unified
+// buffers of adjacent ports and routers pack contiguously.
+func NewUBSIn(a *soa.Arena, slots, vcs int) *UBS {
 	if slots < 1 {
 		panic(fmt.Sprintf("core: UBS needs at least one slot, got %d", slots))
 	}
 	if vcs < 1 || vcs > slots {
 		panic(fmt.Sprintf("core: UBS VC rows must be in [1,%d], got %d", slots, vcs))
 	}
-	return &UBS{
-		slots:   make([]*flit.Flit, slots),
-		tracker: NewTracker(slots),
-		table:   NewTable(vcs),
+	w := (vcs + 63) / 64
+	b := &UBS{
+		slots:       a.TakeFlits(slots),
+		arrived:     a.TakeInt64s(slots),
+		headArrived: a.TakeInt64s(vcs),
+		readyMask:   a.TakeWords(w),
+		pendMask:    a.TakeWords(w),
 	}
+	for i := range b.headArrived {
+		b.headArrived[i] = neverReady
+	}
+	b.tracker.init(slots, a)
+	// Any slot can serve any VC, so each row's ring must be able to
+	// hold every slot.
+	b.table.init(vcs, slots, a)
+	return b
 }
 
 // Slots returns the pool capacity.
@@ -77,39 +118,116 @@ func (b *UBS) Write(f *flit.Flit, now int64) error {
 	}
 	f.ArrivedAt = now
 	b.slots[slot] = f
+	b.arrived[slot] = now
+	if b.table.Len(f.VC) == 0 {
+		b.headArrived[f.VC] = now
+		b.flushPend(now)
+		b.pendMask[uint(f.VC)>>6] |= 1 << (uint(f.VC) & 63)
+	}
 	b.table.Append(f.VC, slot)
 	return nil
 }
 
+// flushPend promotes pending bits stamped before now into readyMask;
+// after it returns, pendMask collects bits stamped exactly now.
+func (b *UBS) flushPend(now int64) {
+	if b.pendCycle == now {
+		return
+	}
+	for i, p := range b.pendMask {
+		if p != 0 {
+			b.readyMask[i] |= p
+			b.pendMask[i] = 0
+		}
+	}
+	b.pendCycle = now
+}
+
+// ReadyWords returns the per-VC readiness bitmask as of cycle now:
+// bit v is set iff Ready(v, now). The switch allocator ANDs it
+// against its active-VC mask, turning the whole-port poll into one
+// word operation per 64 VCs. Callers must treat the words as
+// read-only and re-call each cycle (the call promotes bits that
+// became readable at the cycle boundary).
+func (b *UBS) ReadyWords(now int64) []uint64 {
+	b.flushPend(now)
+	return b.readyMask
+}
+
 // Front returns the flit at the VC's departing-flit pointer if it is
-// readable this cycle.
+// readable this cycle. The cached head stamp gates the control-table
+// walk: an empty or not-yet-readable row answers without it.
 func (b *UBS) Front(vc int, now int64) *flit.Flit {
-	slot := b.table.Head(vc)
-	if slot < 0 {
+	if vc < 0 || vc >= len(b.headArrived) || b.headArrived[vc] >= now {
 		return nil
 	}
+	slot := b.table.Head(vc)
 	f := b.slots[slot]
 	if f == nil {
 		//vichar:invariant the VC Control Table must only name occupied slots; an empty one is table/tracker divergence
 		panic(fmt.Sprintf("core: control table names empty slot %d for vc %d", slot, vc))
 	}
-	if f.ArrivedAt >= now {
-		return nil
-	}
 	return f
 }
 
+// Ready reports whether Front would return a flit: one load against
+// the cached head arrival stamp — no control-table walk, no flit
+// pointer chase — which is what the switch allocator's per-cycle
+// polling wants.
+func (b *UBS) Ready(vc int, now int64) bool {
+	return vc >= 0 && vc < len(b.headArrived) && b.headArrived[vc] < now
+}
+
 // Pop removes the VC's head flit, NULLing its table entry and
-// returning its slot to the tracker.
+// returning its slot to the tracker. It reads the departing-flit
+// pointer once instead of re-running Front's lookup.
 func (b *UBS) Pop(vc int, now int64) (*flit.Flit, error) {
-	if b.Front(vc, now) == nil {
+	if vc < 0 || vc >= len(b.headArrived) || b.headArrived[vc] >= now {
+		//vichar:alloc error construction on the empty or not-yet-readable misuse path; SA gates every hot-path Pop behind Ready
 		return nil, fmt.Errorf("%w: vc %d", buffers.ErrEmpty, vc)
 	}
-	slot := b.table.PopHead(vc)
+	slot, next := b.table.PopHeadNext(vc)
 	f := b.slots[slot]
+	if f == nil {
+		//vichar:invariant the VC Control Table must only name occupied slots; an empty one is table/tracker divergence
+		panic(fmt.Sprintf("core: control table names empty slot %d for vc %d", slot, vc))
+	}
 	b.slots[slot] = nil
 	b.tracker.Release(slot)
+	// The popped head was readable (stamp < now), so after promoting
+	// anything stamped before now its bit sits in readyMask — a Pop
+	// reached through the stamp-polling path may not have flushed yet
+	// this cycle. The bit then stays only if the new head is itself
+	// already readable.
+	b.flushPend(now)
+	if next >= 0 {
+		at := b.arrived[next]
+		b.headArrived[vc] = at
+		if at >= now {
+			b.readyMask[uint(vc)>>6] &^= 1 << (uint(vc) & 63)
+			b.pendMask[uint(vc)>>6] |= 1 << (uint(vc) & 63)
+		}
+	} else {
+		b.headArrived[vc] = neverReady
+		b.readyMask[uint(vc)>>6] &^= 1 << (uint(vc) & 63)
+	}
 	return f, nil
+}
+
+// CheckReadyMasks cross-checks the readiness overlay against the
+// authoritative head stamps at cycle now: bit v of (readyMask OR
+// still-pending-from-now pendMask-for-next-cycle) must equal
+// Ready(v, now) after promotion. Used by the invariant audit.
+func (b *UBS) CheckReadyMasks(now int64) error {
+	b.flushPend(now)
+	for v := 0; v < len(b.headArrived); v++ {
+		got := b.readyMask[uint(v)>>6]&(1<<(uint(v)&63)) != 0
+		if want := b.headArrived[v] < now; got != want {
+			//vichar:alloc error construction on the audit mismatch path
+			return fmt.Errorf("core: readyMask bit %d is %v, head stamp says %v (stamp %d, now %d)", v, got, want, b.headArrived[v], now)
+		}
+	}
+	return nil
 }
 
 // Len returns the number of flits the VC currently owns.

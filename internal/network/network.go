@@ -46,10 +46,31 @@ type timedFlit struct {
 // flitLink is a fixed-latency flit pipeline between an output port
 // and a receiver.
 type flitLink struct {
-	delay   int64
-	deliver func(f *flit.Flit, now int64)
-	q       []timedFlit
-	head    int
+	delay int64
+	q     []timedFlit
+	head  int
+
+	// Delivery target, encoded as plain fields instead of a per-link
+	// closure so the deliver phase's hottest call is a direct method
+	// invocation on stable memory. Exactly one shape is wired per link:
+	// an ejection link stages into *eject; every other link hands the
+	// flit to dst.ReceiveFlit(inPort, ...), bumping *count (the
+	// network's per-link flit counter) and the probe when attached.
+	dst    *router.Router
+	inPort int
+	count  *uint64
+	lp     *metrics.LinkProbe
+	eject  *[]*flit.Flit
+
+	// Active-router worklist wiring (DESIGN.md §14): owner is the
+	// router whose deliver-phase plan ticks this link; wake points at
+	// the WRITER router's wake buffer (Network.wakes[writer]). A send
+	// that makes an empty link non-empty appends owner there; the
+	// serial merge after the compute barrier re-activates the owner's
+	// deliver entry. Only the writer's shard touches the buffer, so
+	// the edge-triggered append is race-free at any worker count.
+	owner int
+	wake  *[]int
 
 	// faults is the link's fault-model state (retransmission buffer,
 	// scheduled drops); nil without Config.Faults, which keeps the
@@ -61,8 +82,41 @@ type flitLink struct {
 
 // SendFlit enqueues f for delivery delay cycles from now.
 func (l *flitLink) SendFlit(f *flit.Flit, now int64) {
+	if l.head == len(l.q) && l.wake != nil {
+		//vichar:alloc edge-triggered wake: at most one append per empty->non-empty transition, into a per-writer buffer reset each cycle
+		*l.wake = append(*l.wake, l.owner)
+	}
 	//vichar:alloc in-flight queue is bounded by link occupancy; tick resets it to its backing array, so capacity reaches steady state after warm-up
 	l.q = append(l.q, timedFlit{f: f, at: now + l.delay})
+}
+
+// pending reports whether the link still carries undelivered work: an
+// in-flight payload or a flit parked in its retransmission buffer.
+// The deliver shard keeps the owning router's deliver entry active
+// while any plan link is pending, so fault-held links keep their
+// router on the worklist until the retransmission drains.
+func (l *flitLink) pending() bool {
+	if l.head < len(l.q) {
+		return true
+	}
+	return l.faults != nil && l.faults.Held() > 0
+}
+
+// deliverFlit hands a due flit to the link's wired target (see the
+// field comment on flitLink).
+func (l *flitLink) deliverFlit(f *flit.Flit, now int64) {
+	if l.eject != nil {
+		//vichar:alloc staging slice is reset to length 0 each commit, so its capacity reaches the per-cycle ejection peak and stays there
+		*l.eject = append(*l.eject, f)
+		return
+	}
+	if l.count != nil {
+		*l.count++
+	}
+	if l.lp != nil {
+		l.lp.Deliver(now, f.Pkt.ID, f.Seq, f.VC)
+	}
+	l.dst.ReceiveFlit(l.inPort, f, now)
 }
 
 // tick delivers every flit due at or before now.
@@ -75,7 +129,7 @@ func (l *flitLink) tick(now int64) {
 		tf := l.q[l.head]
 		l.q[l.head] = timedFlit{}
 		l.head++
-		l.deliver(tf.f, now)
+		l.deliverFlit(tf.f, now)
 	}
 	if l.head == len(l.q) {
 		l.q = l.q[:0]
@@ -94,7 +148,7 @@ func (l *flitLink) tickFaulty(now int64) {
 	if s.HeldDue(now) {
 		l.fprobe.Retransmit()
 		if out := s.Attempt(now); out == faults.Deliver {
-			l.deliver(s.Release(), now)
+			l.deliverFlit(s.Release(), now)
 		} else {
 			s.Rearm(now)
 			l.fprobe.Fault(out == faults.Corrupt)
@@ -105,7 +159,7 @@ func (l *flitLink) tickFaulty(now int64) {
 		l.q[l.head] = timedFlit{}
 		l.head++
 		if out := s.Attempt(now); out == faults.Deliver {
-			l.deliver(tf.f, now)
+			l.deliverFlit(tf.f, now)
 		} else {
 			s.Hold(tf.f, now)
 			l.fprobe.Fault(out == faults.Corrupt)
@@ -125,14 +179,28 @@ type timedCredit struct {
 
 // creditLink is the fixed-latency reverse channel of a link.
 type creditLink struct {
-	delay   int64
-	deliver func(c flit.Credit)
-	q       []timedCredit
-	head    int
+	delay int64
+	q     []timedCredit
+	head  int
+
+	// Delivery target as plain fields (same rationale as flitLink): an
+	// inter-router reverse channel credits dst's output port outPort;
+	// the NI reverse channel credits view directly.
+	dst     *router.Router
+	outPort int
+	view    router.CreditView
+
+	// Worklist wiring, identical contract to flitLink.owner/wake.
+	owner int
+	wake  *[]int
 }
 
 // SendCredit enqueues c for delivery delay cycles from now.
 func (l *creditLink) SendCredit(c flit.Credit, now int64) {
+	if l.head == len(l.q) && l.wake != nil {
+		//vichar:alloc edge-triggered wake: at most one append per empty->non-empty transition, into a per-writer buffer reset each cycle
+		*l.wake = append(*l.wake, l.owner)
+	}
 	//vichar:alloc in-flight queue is bounded by link occupancy; tick resets it to its backing array, so capacity reaches steady state after warm-up
 	l.q = append(l.q, timedCredit{c: c, at: now + l.delay})
 }
@@ -141,7 +209,11 @@ func (l *creditLink) tick(now int64) {
 	for l.head < len(l.q) && l.q[l.head].at <= now {
 		tc := l.q[l.head]
 		l.head++
-		l.deliver(tc.c)
+		if l.dst != nil {
+			l.dst.ReceiveCredit(l.outPort, tc.c)
+		} else {
+			l.view.OnCredit(tc.c)
+		}
 	}
 	if l.head == len(l.q) {
 		l.q = l.q[:0]
@@ -199,6 +271,12 @@ func (s *ni) enqueue(p *flit.Packet) {
 }
 
 func (s *ni) queued() int { return len(s.queue) - s.qhead }
+
+// idle reports whether a tick would be a no-op: no packet mid-flight
+// and nothing queued. The compute worklist only lets a node sleep
+// when its NI is idle; a stalled injection (cur != nil waiting for
+// credit) keeps the node active until the credit arrives.
+func (s *ni) idle() bool { return s.cur == nil && s.queued() == 0 }
 
 func (s *ni) tick(now int64) {
 	if s.cur == nil && s.queued() > 0 {
@@ -267,6 +345,27 @@ type Network struct {
 	// serial kernel's ejection-link order exactly.
 	pendingEject [][]*flit.Flit
 
+	// Active-router worklist (DESIGN.md §14). computeActive[id] marks
+	// routers the compute phase must tick; it is cleared by the
+	// owning shard once router id is quiescent, its NI idle and no
+	// fault plan is attached, and re-set by the same shard's deliver
+	// pass or by the serial injection path. deliverActive[id] marks
+	// routers whose plan links may carry payloads; the owning shard
+	// recomputes it from link occupancy each cycle, and cross-shard
+	// sends re-arm it through wakes: wakes[w] is written only by
+	// router w's shard (during its compute) and drained serially
+	// after the compute barrier, so activation is deterministic (a
+	// pure OR over an order-free set) and race-free at any worker
+	// count. Skipped entries are exact no-ops, so results stay
+	// bit-identical to the always-tick kernel.
+	computeActive []bool
+	deliverActive []bool
+	wakes         [][]int
+
+	// wlStats tallies worklist effectiveness per shard (shard-owned
+	// slots, summed on demand by WorklistStats).
+	wlStats []WorklistStats
+
 	// shardCount is the number of kernel shards (1 = serial); exec is
 	// the lazily created worker pool behind runSharded.
 	shardCount int
@@ -300,6 +399,10 @@ type Network struct {
 	// run's Counters.
 	fplan      *faults.Plan
 	faultLinks []*faults.LinkState
+
+	// arena owns the struct-of-arrays backing store for every router's
+	// and credit view's hot state (DESIGN.md §14).
+	arena *router.Arena
 
 	gen       *traffic.Generator
 	collector *stats.Collector
@@ -388,8 +491,20 @@ func New(cfg *config.Config) *Network {
 	}
 	n.auditStates = make([][]audit.LinkState, n.shardCount)
 	n.auditErrs = make([]error, n.shardCount)
+	n.computeActive = make([]bool, mesh.Nodes())
+	n.deliverActive = make([]bool, mesh.Nodes())
+	n.wakes = make([][]int, mesh.Nodes())
+	n.wlStats = make([]WorklistStats, n.shardCount)
+	for id := range n.computeActive {
+		n.computeActive[id] = true
+		n.deliverActive[id] = true
+	}
+	// The struct-of-arrays arena: routers and credit views below draw
+	// their hot per-(router, port, VC) state from it in ascending id
+	// order, laying the whole mesh's tick-path state out contiguously.
+	n.arena = router.NewArena(cfg, mesh)
 	for id := range n.routers {
-		n.routers[id] = router.New(id, cfg, mesh)
+		n.routers[id] = router.NewIn(n.arena, id, cfg, mesh)
 	}
 
 	// Fault model: compile the schedule (nil when disabled), hand each
@@ -448,6 +563,40 @@ func New(cfg *config.Config) *Network {
 		}
 	}
 
+	// Link slabs: every flit and credit link of the mesh lives in one
+	// contiguous array each, so the deliver phase's per-link walk stays
+	// on adjacent cache lines instead of chasing scattered heap
+	// objects. Capacities are exact (connected cardinal ports plus the
+	// per-node ejection, injection and NI-credit channels); the
+	// index-guarded takes below panic rather than reallocate, which
+	// would orphan the already-wired pointers.
+	nLinks := 0
+	for id := 0; id < mesh.Nodes(); id++ {
+		for port := 0; port < topology.Local; port++ {
+			if _, ok := mesh.Neighbor(id, port); ok {
+				nLinks++
+			}
+		}
+	}
+	flitSlab := make([]flitLink, nLinks+2*mesh.Nodes())
+	creditSlab := make([]creditLink, nLinks+mesh.Nodes())
+	// Exact capacity up front: links hold *count pointers into this
+	// array, so it must never reallocate.
+	n.linkFlits = make([]uint64, 0, nLinks)
+	fi, ci := 0, 0
+	takeFlitLink := func(l flitLink) *flitLink {
+		p := &flitSlab[fi]
+		fi++
+		*p = l
+		return p
+	}
+	takeCreditLink := func(l creditLink) *creditLink {
+		p := &creditSlab[ci]
+		ci++
+		*p = l
+		return p
+	}
+
 	// Inter-router links: one flit link (downstream) and one credit
 	// link (upstream) per connected cardinal port pair.
 	for id, r := range n.routers {
@@ -469,7 +618,12 @@ func New(cfg *config.Config) *Network {
 			// writes on the receiver's recorder. The same ownership
 			// covers the link's fault state: only the receiver's shard
 			// ticks it.
-			fl := &flitLink{delay: router.FlitDelay}
+			// Worklist: router id's compute writes this link; router
+			// nb's deliver drains it.
+			fl := takeFlitLink(flitLink{
+				delay: router.FlitDelay, owner: nb, wake: &n.wakes[id],
+				dst: dst, inPort: inPort, count: &n.linkFlits[linkIdx],
+			})
 			if fs := n.fplan.Link(id, port); fs != nil {
 				fl.faults = fs
 				n.faultLinks = append(n.faultLinks, fs)
@@ -478,30 +632,20 @@ func New(cfg *config.Config) *Network {
 				}
 			}
 			if n.obs != nil {
-				lp := metrics.NewLinkProbe(n.obs.recs[1+nb], id, nb, inPort, topology.PortName(port))
-				fl.deliver = func(f *flit.Flit, now int64) {
-					n.linkFlits[linkIdx]++
-					lp.Deliver(now, f.Pkt.ID, f.Seq, f.VC)
-					dst.ReceiveFlit(inPort, f, now)
-				}
-			} else {
-				fl.deliver = func(f *flit.Flit, now int64) {
-					n.linkFlits[linkIdx]++
-					dst.ReceiveFlit(inPort, f, now)
-				}
+				fl.lp = metrics.NewLinkProbe(n.obs.recs[1+nb], id, nb, inPort, topology.PortName(port))
 			}
 			n.plan[nb].flits = append(n.plan[nb].flits, fl)
 
 			// Credit delivery mutates the upstream router's output
 			// view, so the reverse channel belongs to the upstream
-			// router's plan.
-			cl := &creditLink{delay: router.CreditDelay}
-			src := r
-			outPort := port
-			cl.deliver = func(c flit.Credit) { src.ReceiveCredit(outPort, c) }
+			// router's plan; the downstream router nb writes it.
+			cl := takeCreditLink(creditLink{
+				delay: router.CreditDelay, owner: id, wake: &n.wakes[nb],
+				dst: r, outPort: port,
+			})
 			n.plan[id].credits = append(n.plan[id].credits, cl)
 
-			view := router.NewCreditView(cfg)
+			view := router.NewCreditViewIn(n.arena, cfg)
 			r.ConnectOutput(port, fl, view)
 			dst.ConnectInputCredit(inPort, cl)
 			n.auditedLinks = append(n.auditedLinks, auditedLink{
@@ -518,29 +662,30 @@ func New(cfg *config.Config) *Network {
 		// check, snapshots), so delivery only stages the flit; the
 		// serial commit sub-phase of Step ejects staged flits in
 		// ascending node order.
-		node := id
-		ej := &flitLink{delay: router.FlitDelay}
-		ej.deliver = func(f *flit.Flit, now int64) {
-			//vichar:alloc staging slice is reset to length 0 each commit, so its capacity reaches the per-cycle ejection peak and stays there
-			n.pendingEject[node] = append(n.pendingEject[node], f)
-		}
+		ej := takeFlitLink(flitLink{
+			delay: router.FlitDelay, owner: id, wake: &n.wakes[id],
+			eject: &n.pendingEject[id],
+		})
 		n.plan[id].flits = append(n.plan[id].flits, ej)
 		r.ConnectOutput(topology.Local, ej, router.NewSinkView())
 
 		// Injection: NI -> router local input (one-cycle channel).
-		s := &ni{node: id, view: router.NewCreditView(cfg)}
+		s := &ni{node: id, view: router.NewCreditViewIn(n.arena, cfg)}
 		if n.obs != nil {
 			s.probe = metrics.NewNIProbe(n.obs.recs[1+id], id)
 		}
-		inj := &flitLink{delay: 1}
-		dst := r
-		inj.deliver = func(f *flit.Flit, now int64) { dst.ReceiveFlit(topology.Local, f, now) }
+		inj := takeFlitLink(flitLink{
+			delay: 1, owner: id, wake: &n.wakes[id],
+			dst: r, inPort: topology.Local,
+		})
 		n.plan[id].flits = append(n.plan[id].flits, inj)
 		s.link = inj
 
-		cl := &creditLink{delay: router.CreditDelay}
+		cl := takeCreditLink(creditLink{
+			delay: router.CreditDelay, owner: id, wake: &n.wakes[id],
+			view: s.view,
+		})
 		view := s.view
-		cl.deliver = func(c flit.Credit) { view.OnCredit(c) }
 		n.plan[id].credits = append(n.plan[id].credits, cl)
 		r.ConnectInputCredit(topology.Local, cl)
 		n.auditedLinks = append(n.auditedLinks, auditedLink{
@@ -598,6 +743,10 @@ func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
 	}
 	n.created++
 	n.nis[src].enqueue(p)
+	// Injection happens on the serial side of the kernel, before the
+	// compute phase, so waking the source here preserves same-cycle NI
+	// processing for a sleeping node.
+	n.computeActive[src] = true
 	n.netProbe.PacketCreated(n.now, p.ID, src)
 	if n.recording {
 		//vichar:alloc trace recording is an opt-in diagnostic mode; one entry per recorded packet
@@ -747,6 +896,16 @@ func (n *Network) Step() {
 		n.InjectPacketSized(e.Src, e.Dst, e.Size)
 	}
 	n.runSharded(n.computeFn)
+	// Merge the per-writer wake buffers: sends that made an empty link
+	// non-empty re-activate the owning router's deliver entry. A pure
+	// OR over an order-free set, run serially after the compute
+	// barrier, so the result is independent of worker scheduling.
+	for w := range n.wakes {
+		for _, owner := range n.wakes[w] {
+			n.deliverActive[owner] = true
+		}
+		n.wakes[w] = n.wakes[w][:0]
+	}
 	if n.cfg.Audit {
 		n.audit(now)
 	}
@@ -763,14 +922,33 @@ func (n *Network) Step() {
 func (n *Network) deliverShard(shard int) {
 	now := n.now
 	lo, hi := n.shardBounds(shard)
+	st := &n.wlStats[shard]
 	for id := lo; id < hi; id++ {
+		// Skip routers none of whose plan links carry payloads; the
+		// flag is re-armed by the serial wake merge when a writer
+		// makes one of them non-empty again.
+		if !n.deliverActive[id] {
+			st.DeliverSkipped++
+			continue
+		}
+		st.DeliverTicked++
 		rl := &n.plan[id]
+		pending := false
 		for _, l := range rl.flits {
 			l.tick(now)
+			pending = pending || l.pending()
 		}
 		for _, l := range rl.credits {
 			l.tick(now)
+			pending = pending || l.head < len(l.q)
 		}
+		// Both flags are shard-owned here: deliver and compute shard
+		// by the same id ranges, so no other worker reads them before
+		// the phase barrier. Anything delivered (or still in flight)
+		// may have changed router id's state, so its compute entry is
+		// re-armed conservatively.
+		n.deliverActive[id] = pending
+		n.computeActive[id] = true
 	}
 }
 
@@ -779,9 +957,24 @@ func (n *Network) deliverShard(shard int) {
 func (n *Network) computeShard(shard int) {
 	now := n.now
 	lo, hi := n.shardBounds(shard)
+	st := &n.wlStats[shard]
 	for id := lo; id < hi; id++ {
-		n.nis[id].tick(now)
+		if !n.computeActive[id] {
+			st.ComputeSkipped++
+			continue
+		}
+		st.ComputeTicked++
+		s := n.nis[id]
+		s.tick(now)
 		n.routers[id].Tick(now)
+		// A node may sleep only when a tick provably does nothing: the
+		// router's masks are empty (Quiescent also rules out attached
+		// fault state), the NI neither holds nor queues a packet, and
+		// no fault plan is compiled — fault schedules mutate per-cycle
+		// state regardless of traffic, so faulted runs never sleep.
+		if n.fplan == nil && s.idle() && n.routers[id].Quiescent() {
+			n.computeActive[id] = false
+		}
 	}
 }
 
@@ -897,7 +1090,7 @@ func (n *Network) auditRoutersShard(shard int) {
 	n.auditErrs[shard] = nil
 	lo, hi := n.shardBounds(shard)
 	for id := lo; id < hi; id++ {
-		if err := n.routers[id].AuditInvariants(); err != nil {
+		if err := n.routers[id].AuditInvariants(n.now); err != nil {
 			n.auditErrs[shard] = err
 			return
 		}
@@ -1003,3 +1196,31 @@ func (n *Network) Drain(maxCycles int64) int64 {
 
 // Collector exposes the stats collector (tests and custom protocols).
 func (n *Network) Collector() *stats.Collector { return n.collector }
+
+// WorklistStats tallies active-router worklist effectiveness: how many
+// per-router compute and deliver entries each Step ran versus skipped.
+type WorklistStats struct {
+	ComputeTicked  uint64
+	ComputeSkipped uint64
+	DeliverTicked  uint64
+	DeliverSkipped uint64
+}
+
+// WorklistStats sums the per-shard worklist tallies accumulated since
+// construction. Purely diagnostic — the counts do not feed results.
+func (n *Network) WorklistStats() WorklistStats {
+	var s WorklistStats
+	for i := range n.wlStats {
+		s.ComputeTicked += n.wlStats[i].ComputeTicked
+		s.ComputeSkipped += n.wlStats[i].ComputeSkipped
+		s.DeliverTicked += n.wlStats[i].DeliverTicked
+		s.DeliverSkipped += n.wlStats[i].DeliverSkipped
+	}
+	return s
+}
+
+// ArenaOverflow returns the number of hot-state elements the
+// struct-of-arrays arena served outside its backing arrays; nonzero
+// means router.NewArena's sizing formula undershot (locality lost,
+// correctness unaffected). TestArenaSizingExact pins it at zero.
+func (n *Network) ArenaOverflow() int { return n.arena.Overflow() }

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"vichar/internal/arbiter"
+	"vichar/internal/config"
+	"vichar/internal/soa"
+	"vichar/internal/topology"
+)
+
+// Arena is the router layer's view of the network-owned
+// struct-of-arrays backing store (DESIGN.md §14): the shared typed
+// pools of internal/soa plus router-private pools for VC pipeline
+// state and arbiter banks. The network builds one per simulation and
+// threads it through NewIn / NewCreditViewIn in ascending router-id
+// order, so the hot per-(router, port, VC) state — UBS slots and
+// bitmaps, control-table rings, credit counters, VC state machines,
+// arbiter pointers, scan masks — lands in construction order on one
+// contiguous slab.
+//
+// A nil *Arena degrades every take to a plain allocation; standalone
+// routers (unit tests) need no pool.
+type Arena struct {
+	soa *soa.Arena
+	vcs *soa.Pool[vcState]
+	rrs *soa.Pool[arbiter.RoundRobin]
+}
+
+// NewArena sizes an arena for `nodes` routers of the configuration
+// plus the network's link credit views. The per-pool capacities are
+// the closed-form sum of every take the construction path performs;
+// TestArenaSizingExact pins the formula by asserting zero overflow.
+func NewArena(cfg *config.Config, mesh topology.Mesh) *Arena {
+	nodes := mesh.Nodes()
+	p := cfg.Ports()
+	v := cfg.MaxVCs()
+	w := maskWords(v)
+
+	// Inter-router links: one credit view per connected cardinal port.
+	links := 0
+	for id := 0; id < nodes; id++ {
+		for port := 0; port < topology.Local; port++ {
+			if _, ok := mesh.Neighbor(id, port); ok {
+				links++
+			}
+		}
+	}
+	// One view per inter-router link plus one NI view per node (the
+	// ejection port's sink view holds no arrays).
+	views := links + nodes
+
+	var flits, ints, int64s, words, bools int
+
+	// Per input port: the buffer. Only the ViChaR UBS is arena-backed;
+	// the fixed organizations keep their self-recycling FIFO slices.
+	inPorts := nodes * p
+	if cfg.Arch == config.ViChaR {
+		slots := cfg.BufferSlots
+		flits += inPorts * slots               // UBS slot array
+		int64s += inPorts * (slots + v)        // arrival stamps: per slot + head cache
+		words += inPorts * ((slots + 63) / 64) // slot availability tracker
+		words += inPorts * 2 * ((v + 63) / 64) // readiness overlay (ready + pending)
+		ints += inPorts * (v*slots + 2*v)      // control-table rings + head/count
+	}
+
+	// Per input port: VC pipeline state, the three scan masks and the
+	// packed (outPort, outVC) route of each granted VC.
+	words += inPorts * 3 * w
+	ints += inPorts * v
+
+	// Per router: arbiter banks (vaS1, saS1 over VCs; vaS2, saS2 over
+	// ports; the generic organization adds a per-output-VC stage 2).
+	rrs := nodes * 4 * p
+	if cfg.Arch != config.ViChaR {
+		rrs += nodes * p * v
+	}
+
+	// Per credit view.
+	escape := 0
+	if cfg.NeedsEscape() {
+		escape = cfg.EscapeVCs
+	}
+	switch cfg.Arch {
+	case config.Generic:
+		ints += views * cfg.VCs  // credits
+		bools += views * cfg.VCs // open
+	case config.ViChaR:
+		ints += views * v      // held
+		bools += views * 2 * v // resFree + granted
+		dw := (v - escape + 63) / 64
+		if escape > 0 {
+			dw += (escape + 63) / 64
+		}
+		words += views * dw // dispenser availability bitmaps
+	case config.DAMQ, config.FCCB:
+		ints += views * cfg.VCs      // held
+		bools += views * 2 * cfg.VCs // resFree + open
+	}
+
+	return &Arena{
+		soa: soa.NewArena(flits, ints, int64s, words, bools),
+		vcs: soa.NewPool[vcState](inPorts * v),
+		rrs: soa.NewPool[arbiter.RoundRobin](rrs),
+	}
+}
+
+// Soa returns the shared typed pools (nil for a nil arena).
+func (a *Arena) Soa() *soa.Arena {
+	if a == nil {
+		return nil
+	}
+	return a.soa
+}
+
+// Overflow sums fallback allocations across all pools; nonzero means
+// the sizing formula undershot.
+func (a *Arena) Overflow() int {
+	if a == nil {
+		return 0
+	}
+	return a.soa.Overflow() + a.vcs.Overflow() + a.rrs.Overflow()
+}
+
+// takeVCs carves n VC state machines (nil-arena safe).
+func (a *Arena) takeVCs(n int) []vcState {
+	if a == nil {
+		return make([]vcState, n)
+	}
+	return a.vcs.Take(n)
+}
+
+// takeBank carves a round-robin arbiter bank (nil-arena safe),
+// mirroring arbiter.NewRoundRobinBank.
+func (a *Arena) takeBank(count, inputs int) []arbiter.RoundRobin {
+	if a == nil {
+		return arbiter.NewRoundRobinBank(count, inputs)
+	}
+	bank := a.rrs.Take(count)
+	arbiter.InitBank(bank, inputs)
+	return bank
+}
+
+// maskWords returns the uint64 words needed for one bit per VC.
+func maskWords(vcs int) int { return (vcs + 63) / 64 }

@@ -13,6 +13,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vichar/internal/arbiter"
 	"vichar/internal/audit"
@@ -77,15 +78,47 @@ type vcState struct {
 }
 
 type inputPort struct {
-	buf    buffers.Buffer
+	buf buffers.Buffer
+	// ubs devirtualizes buf when it is a ViChaR unified buffer: the SA
+	// stage polls Ready on every active VC every cycle, and the direct
+	// (inlinable) call keeps that poll to one array load instead of an
+	// interface dispatch. nil for the fixed organizations.
+	ubs    *core.UBS
 	vc     []vcState
 	credit CreditSender
+
+	// Per-VC scan masks, one bit per VC id (DESIGN.md §14). The tick
+	// stages iterate set bits instead of scanning every VC, and the
+	// network's active-router worklist derives quiescence from them.
+	// Invariants (cross-checked by AuditInvariants): bit v of bufMask
+	// is set iff buf.Len(v) > 0; vaMask iff vc[v] is in vcWaitVA;
+	// actMask iff vc[v] is in vcActive.
+	bufMask []uint64
+	vaMask  []uint64
+	actMask []uint64
+
+	// outInfo[v] packs the granted route of an active VC:
+	// outPort<<outInfoShift | outVC, mirrored from vc[v] at VA-grant
+	// time. The SA scan polls every active VC every cycle and needs
+	// only this pair; the packed side array keeps that poll off the
+	// much wider vcState records. Meaningful only while actMask bit v
+	// is set (cross-checked by AuditInvariants).
+	outInfo []int
 }
+
+// outInfoShift packs (outPort, outVC) into one outInfo word; 16 bits
+// of VC id is far beyond any configured unified buffer depth.
+const outInfoShift = 16
 
 type outputPort struct {
 	view CreditView
-	conn FlitSender
+	// vichar devirtualizes view when it is a ViChaR dispenser view,
+	// for the same per-active-VC SA poll as inputPort.ubs; nil for
+	// other view kinds (including the ejection sink).
+	vichar *vicharView
+	conn   FlitSender
 }
+
 
 // Router is one 5-port pipelined NoC router.
 type Router struct {
@@ -94,17 +127,25 @@ type Router struct {
 	mesh  topology.Mesh
 	route routing.Function
 
-	in  []*inputPort
-	out []*outputPort
+	in  []inputPort
+	out []outputPort
+	// outVic[p] == out[p].vichar, as a flat pointer array: the SA scan
+	// indexes it per poll, and the 8-byte stride beats computing an
+	// offset into the wide outputPort records.
+	outVic []*vicharView
 
 	maxVCs int
 	ports  int
+	maskW  int // uint64 words per per-VC mask
 
-	vaS1  []*arbiter.RoundRobin   // per input port, over its VCs
-	vaS2  []*arbiter.RoundRobin   // ViChaR: per output port, over input ports
-	vaS2G [][]*arbiter.RoundRobin // generic: per output port per output VC, over input port x VC
-	saS1  []*arbiter.RoundRobin   // per input port, over its VCs
-	saS2  []*arbiter.RoundRobin   // per output port, over input ports
+	// Arbiter banks are contiguous value slices (struct-of-arrays): a
+	// tick touches all of them, so their priority pointers share cache
+	// lines instead of hiding behind per-arbiter heap pointers.
+	vaS1  []arbiter.RoundRobin // per input port, over its VCs
+	vaS2  []arbiter.RoundRobin // ViChaR: per output port, over input ports
+	vaS2G []arbiter.RoundRobin // generic: per (output port, output VC) flat, over input port x VC
+	saS1  []arbiter.RoundRobin // per input port, over its VCs
+	saS2  []arbiter.RoundRobin // per output port, over input ports
 
 	// Counters accumulates activity events since construction; the
 	// network snapshots it around the measurement window.
@@ -124,9 +165,10 @@ type Router struct {
 	escapeTree *routing.EscapeTree
 
 	// scratch state reused across ticks to avoid per-cycle allocation
-	saNominee []int // per input port: winning VC or -1
-	vaReq     []bool
-	saReq     []bool
+	saNominee []int      // per input port: winning VC or -1
+	reqWords  []uint64   // request-mask scratch, ports*maxVCs bits wide
+	saReq     []bool     // per input port, for the port-wide stage-2 arbiters
+	opReq     []uint64   // per output port: input-port request bits (stage 2)
 	vaNoms    []vaNominee // ViChaR VA: per input port nominee
 	vaPicks   []vaPick    // generic VA stage 1, by flat input-VC id
 	vaFlats   []int       // flat ids picked this cycle, ascending
@@ -152,13 +194,14 @@ func routeFor(cfg *config.Config) routing.Function {
 	return routing.XY{}
 }
 
-// newBuffer builds the input-port buffer for the configuration.
-func newBuffer(cfg *config.Config) buffers.Buffer {
+// newBuffer builds the input-port buffer for the configuration,
+// drawing the UBS's arrays from the arena when one is supplied.
+func newBuffer(cfg *config.Config, a *Arena) buffers.Buffer {
 	switch cfg.Arch {
 	case config.Generic:
 		return buffers.NewGeneric(cfg.VCs, cfg.VCDepth)
 	case config.ViChaR:
-		return core.NewUBSWithVCs(cfg.BufferSlots, cfg.MaxVCs())
+		return core.NewUBSIn(a.Soa(), cfg.BufferSlots, cfg.MaxVCs())
 	case config.DAMQ:
 		return buffers.NewDAMQ(cfg.VCs, cfg.BufferSlots, cfg.DAMQDelay)
 	case config.FCCB:
@@ -171,6 +214,14 @@ func newBuffer(cfg *config.Config) buffers.Buffer {
 // New constructs router id on the mesh. Ports must be wired with
 // ConnectOutput/ConnectInputCredit before the first tick.
 func New(id int, cfg *config.Config, mesh topology.Mesh) *Router {
+	return NewIn(nil, id, cfg, mesh)
+}
+
+// NewIn is New drawing the router's hot state — buffers, VC state
+// machines, scan masks, arbiter banks — from the network arena, so
+// adjacent routers' tick-path state packs contiguously (DESIGN.md
+// §14). A nil arena allocates normally.
+func NewIn(a *Arena, id int, cfg *config.Config, mesh topology.Mesh) *Router {
 	p := cfg.Ports()
 	r := &Router{
 		id:     id,
@@ -179,39 +230,35 @@ func New(id int, cfg *config.Config, mesh topology.Mesh) *Router {
 		route:  routeFor(cfg),
 		maxVCs: cfg.MaxVCs(),
 		ports:  p,
+		maskW:  maskWords(cfg.MaxVCs()),
 
-		in:  make([]*inputPort, p),
-		out: make([]*outputPort, p),
-
-		vaS1: make([]*arbiter.RoundRobin, p),
-		saS1: make([]*arbiter.RoundRobin, p),
-		vaS2: make([]*arbiter.RoundRobin, p),
-		saS2: make([]*arbiter.RoundRobin, p),
+		in:     make([]inputPort, p),
+		out:    make([]outputPort, p),
+		outVic: make([]*vicharView, p),
 
 		saNominee: make([]int, p),
 	}
+	soa := a.Soa()
 	for i := 0; i < p; i++ {
-		r.in[i] = &inputPort{
-			buf: newBuffer(cfg),
-			vc:  make([]vcState, r.maxVCs),
-		}
-		r.vaS1[i] = arbiter.NewRoundRobin(r.maxVCs)
-		r.saS1[i] = arbiter.NewRoundRobin(r.maxVCs)
-		r.vaS2[i] = arbiter.NewRoundRobin(p)
-		r.saS2[i] = arbiter.NewRoundRobin(p)
-		r.out[i] = &outputPort{}
+		in := &r.in[i]
+		in.buf = newBuffer(cfg, a)
+		in.ubs, _ = in.buf.(*core.UBS)
+		in.vc = a.takeVCs(r.maxVCs)
+		in.bufMask = soa.TakeWords(r.maskW)
+		in.vaMask = soa.TakeWords(r.maskW)
+		in.actMask = soa.TakeWords(r.maskW)
+		in.outInfo = soa.TakeInts(r.maxVCs)
 	}
+	r.vaS1 = a.takeBank(p, r.maxVCs)
+	r.saS1 = a.takeBank(p, r.maxVCs)
+	r.vaS2 = a.takeBank(p, p)
+	r.saS2 = a.takeBank(p, p)
 	if cfg.Arch != config.ViChaR {
-		r.vaS2G = make([][]*arbiter.RoundRobin, p)
-		for i := 0; i < p; i++ {
-			r.vaS2G[i] = make([]*arbiter.RoundRobin, r.maxVCs)
-			for v := 0; v < r.maxVCs; v++ {
-				r.vaS2G[i][v] = arbiter.NewRoundRobin(p * r.maxVCs)
-			}
-		}
+		r.vaS2G = a.takeBank(p*r.maxVCs, p*r.maxVCs)
 	}
-	r.vaReq = make([]bool, p*r.maxVCs)
+	r.reqWords = make([]uint64, maskWords(p*r.maxVCs))
 	r.saReq = make([]bool, p)
+	r.opReq = make([]uint64, p)
 	r.vaNoms = make([]vaNominee, p)
 	if cfg.Arch != config.ViChaR {
 		r.vaPicks = make([]vaPick, p*r.maxVCs)
@@ -232,6 +279,8 @@ func (r *Router) ID() int { return r.id }
 func (r *Router) ConnectOutput(p int, conn FlitSender, view CreditView) {
 	r.out[p].conn = conn
 	r.out[p].view = view
+	r.out[p].vichar, _ = view.(*vicharView)
+	r.outVic[p] = r.out[p].vichar
 }
 
 // ConnectInputCredit wires input port p's upstream credit channel.
@@ -265,13 +314,21 @@ func (r *Router) ReceiveFlit(p int, f *flit.Flit, now int64) {
 		//vichar:invariant upstream credit view guarantees space; a full buffer is a flow-control conservation bug
 		panic(fmt.Sprintf("router %d port %d: %v", r.id, p, err))
 	}
+	r.in[p].bufMask[f.VC>>6] |= 1 << (uint(f.VC) & 63)
 	r.Counters.BufferWrites++
 	r.probe.BufferWrite(p)
 }
 
 // ReceiveCredit applies an upstream-bound credit at output port p.
 func (r *Router) ReceiveCredit(p int, c flit.Credit) {
-	r.out[p].view.OnCredit(c)
+	// Branch-devirtualized like the SA polls: one credit arrives per
+	// link per cycle at saturation, and the direct call skips the
+	// interface dispatch.
+	if o := &r.out[p]; o.vichar != nil {
+		o.vichar.OnCredit(c)
+	} else {
+		o.view.OnCredit(c)
+	}
 }
 
 // Tick advances the router one cycle. Stages run in reverse pipeline
@@ -316,36 +373,42 @@ func (r *Router) Tick(now int64) {
 // Buffer write happens in parallel with RC, so a head arriving this
 // cycle routes this cycle (Front is probed at now+1).
 func (r *Router) tickRC(now int64) {
-	for ip, in := range r.in {
+	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {
 			continue
 		}
-		for v := range in.vc {
-			st := &in.vc[v]
-			if st.state != vcIdle {
-				continue
-			}
-			f := in.buf.Front(v, now+1)
-			if f == nil {
-				continue
-			}
-			if !f.IsHead() {
-				//vichar:invariant an idle VC must start with a head flit; a body here means VC state-machine corruption
-				panic(fmt.Sprintf("router %d: %s at head of idle vc %d", r.id, f, v))
-			}
-			st.pkt = f.Pkt
-			if f.Pkt.Escaped {
-				//vichar:alloc appends into the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
-				st.cands = append(st.cands[:0], r.escapePort(f.Pkt.Dst))
-			} else {
-				//vichar:alloc AppendCandidates fills the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
-				st.cands = r.route.AppendCandidates(st.cands[:0], r.mesh, r.id, f.Pkt.Dst)
-			}
-			st.state = vcWaitVA
-			st.waitSince = now
-			if r.probe != nil {
-				r.probe.RC()
-				r.probe.Event(metrics.EvRC, now, r.id, f.Pkt.ID, -1, -1, v)
+		in := &r.in[ip]
+		// Idle VCs holding flits: buffered but neither waiting nor
+		// granted. The mask invariants make the state check implicit.
+		for wi := range in.bufMask {
+			for m := in.bufMask[wi] &^ (in.vaMask[wi] | in.actMask[wi]); m != 0; {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << uint(b)
+				v := wi<<6 + b
+				st := &in.vc[v]
+				f := in.buf.Front(v, now+1)
+				if f == nil {
+					continue // still in (DAMQ) arrival bookkeeping
+				}
+				if !f.IsHead() {
+					//vichar:invariant an idle VC must start with a head flit; a body here means VC state-machine corruption
+					panic(fmt.Sprintf("router %d: %s at head of idle vc %d", r.id, f, v))
+				}
+				st.pkt = f.Pkt
+				if f.Pkt.Escaped {
+					//vichar:alloc appends into the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
+					st.cands = append(st.cands[:0], r.escapePort(f.Pkt.Dst))
+				} else {
+					//vichar:alloc AppendCandidates fills the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
+					st.cands = r.route.AppendCandidates(st.cands[:0], r.mesh, r.id, f.Pkt.Dst)
+				}
+				st.state = vcWaitVA
+				in.vaMask[wi] |= 1 << uint(b)
+				st.waitSince = now
+				if r.probe != nil {
+					r.probe.RC()
+					r.probe.Event(metrics.EvRC, now, r.id, f.Pkt.ID, -1, -1, v)
+				}
 			}
 		}
 	}
@@ -357,8 +420,15 @@ func (r *Router) tickRC(now int64) {
 func (r *Router) bestCandidate(st *vcState, escape bool) int {
 	best, bestSlots := -1, -1
 	for _, p := range st.cands {
-		view := r.out[p].view
-		if view == nil || !view.HasFreeVC(escape) {
+		o := &r.out[p]
+		// Branch-devirtualized like the SA polls: VA re-scores every
+		// waiting VC's candidates each cycle, and the direct
+		// vicharView calls inline.
+		if o.vichar != nil {
+			if !o.vichar.HasFreeVC(escape) {
+				continue
+			}
+		} else if o.view == nil || !o.view.HasFreeVC(escape) {
 			continue
 		}
 		if r.faults != nil && r.faults.LinkDead(p) {
@@ -367,7 +437,13 @@ func (r *Router) bestCandidate(st *vcState, escape bool) int {
 			// does not consult candidates).
 			continue
 		}
-		if s := view.FreeSlots(); s > bestSlots {
+		var s int
+		if o.vichar != nil {
+			s = o.vichar.FreeSlots()
+		} else {
+			s = o.view.FreeSlots()
+		}
+		if s > bestSlots {
 			best, bestSlots = p, s
 		}
 	}
@@ -381,24 +457,29 @@ func (r *Router) escapeCheck(now int64) {
 	if !r.cfg.NeedsEscape() {
 		return
 	}
-	for ip, in := range r.in {
+	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {
 			// A frozen port's control logic cannot re-channel; the
 			// wait clock keeps running, so the packet escapes as soon
 			// as the stall lifts.
 			continue
 		}
-		for v := range in.vc {
-			st := &in.vc[v]
-			if st.state != vcWaitVA || st.pkt.Escaped {
-				continue
-			}
-			if now-st.waitSince > int64(r.cfg.DeadlockThreshold) {
-				st.pkt.Escaped = true
-				//vichar:alloc rewrites the VC's cands scratch in place; RC already grew it to hold at least one port
-				st.cands = append(st.cands[:0], r.escapePort(st.pkt.Dst))
-				r.Counters.EscapeReroutes++
-				r.probe.EscapeReroute()
+		in := &r.in[ip]
+		for wi, wm := range in.vaMask {
+			for m := wm; m != 0; {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << uint(b)
+				st := &in.vc[wi<<6+b]
+				if st.pkt.Escaped {
+					continue
+				}
+				if now-st.waitSince > int64(r.cfg.DeadlockThreshold) {
+					st.pkt.Escaped = true
+					//vichar:alloc rewrites the VC's cands scratch in place; RC already grew it to hold at least one port
+					st.cands = append(st.cands[:0], r.escapePort(st.pkt.Dst))
+					r.Counters.EscapeReroutes++
+					r.probe.EscapeReroute()
+				}
 			}
 		}
 	}
@@ -438,22 +519,24 @@ func (r *Router) tickVAViChaR(now int64) {
 		noms[i].invc = -1
 	}
 	contenders, grants := 0, 0
-	req := r.vaReq[:r.maxVCs]
-	for ip, in := range r.in {
+	req := r.reqWords[:r.maskW]
+	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {
 			continue
 		}
+		in := &r.in[ip]
 		any := false
-		for v := range in.vc {
-			st := &in.vc[v]
-			req[v] = false
-			if st.state != vcWaitVA {
-				continue
-			}
-			if r.bestCandidate(st, st.pkt.Escaped) >= 0 {
-				req[v] = true
-				any = true
-				contenders++
+		for wi, wm := range in.vaMask {
+			req[wi] = 0
+			for m := wm; m != 0; {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << uint(b)
+				st := &in.vc[wi<<6+b]
+				if r.bestCandidate(st, st.pkt.Escaped) >= 0 {
+					req[wi] |= 1 << uint(b)
+					any = true
+					contenders++
+				}
 			}
 		}
 		if !any {
@@ -461,7 +544,7 @@ func (r *Router) tickVAViChaR(now int64) {
 		}
 		r.Counters.VAOps++
 		r.probe.VAOp()
-		w := r.vaS1[ip].Arbitrate(req)
+		w := r.vaS1[ip].ArbitrateMask(req)
 		if w < 0 {
 			continue
 		}
@@ -469,30 +552,49 @@ func (r *Router) tickVAViChaR(now int64) {
 		p := r.bestCandidate(st, st.pkt.Escaped)
 		noms[ip] = vaNominee{invc: w, port: p, escape: st.pkt.Escaped}
 	}
-	// Stage 2: one grant per output port.
-	req2 := r.saReq // reuse scratch: per input port
-	for op := 0; op < r.ports; op++ {
-		anyReq := false
-		for ip := range noms {
-			req2[ip] = noms[ip].invc >= 0 && noms[ip].port == op
-			anyReq = anyReq || req2[ip]
-		}
-		if !anyReq {
+	// Stage 2: one grant per output port. A single pass over the
+	// nominees builds each contested port's input-request word;
+	// TrailingZeros over anyOp then visits ports in the same ascending
+	// order as the old op loop, skipping uncontested ones.
+	opReq := r.opReq
+	var anyOp uint64
+	for ip := range noms {
+		if noms[ip].invc < 0 {
 			continue
 		}
-		w := r.vaS2[op].Arbitrate(req2)
+		op := noms[ip].port
+		if anyOp&(1<<uint(op)) == 0 {
+			anyOp |= 1 << uint(op)
+			opReq[op] = 0
+		}
+		opReq[op] |= 1 << uint(ip)
+	}
+	for m := anyOp; m != 0; {
+		op := bits.TrailingZeros64(m)
+		m &^= 1 << uint(op)
+		w := r.vaS2[op].ArbitrateMask(opReq[op : op+1])
 		if w < 0 {
 			continue
 		}
 		n := noms[w]
-		st := &r.in[w].vc[n.invc]
-		vc, ok := r.out[op].view.AllocVC(n.escape)
+		win := &r.in[w]
+		st := &win.vc[n.invc]
+		var vc int
+		var ok bool
+		if o := &r.out[op]; o.vichar != nil {
+			vc, ok = o.vichar.AllocVC(n.escape)
+		} else {
+			vc, ok = o.view.AllocVC(n.escape)
+		}
 		if !ok {
 			continue // availability changed within the cycle; retry next
 		}
 		st.state = vcActive
+		win.vaMask[n.invc>>6] &^= 1 << (uint(n.invc) & 63)
+		win.actMask[n.invc>>6] |= 1 << (uint(n.invc) & 63)
 		st.outPort = op
 		st.outVC = vc
+		win.outInfo[n.invc] = op<<outInfoShift | vc
 		r.Counters.VCGrants++
 		grants++
 		if r.probe != nil {
@@ -529,35 +631,38 @@ func (r *Router) tickVAGeneric(now int64) {
 		picks[i] = vaPick{}
 	}
 	flats := r.vaFlats[:0]
-	for ip, in := range r.in {
+	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {
 			continue
 		}
-		for v := range in.vc {
-			st := &in.vc[v]
-			if st.state != vcWaitVA {
-				continue
+		in := &r.in[ip]
+		for wi, wm := range in.vaMask {
+			for m := wm; m != 0; {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << uint(b)
+				v := wi<<6 + b
+				st := &in.vc[v]
+				escape := st.pkt.Escaped
+				op := r.bestCandidate(st, escape)
+				if op < 0 {
+					continue
+				}
+				alloc, ok := r.out[op].view.(perVCAllocator)
+				if !ok {
+					//vichar:invariant non-ViChaR configurations always wire per-VC credit views; a mismatch is a construction bug
+					panic(fmt.Sprintf("router %d: %T cannot allocate per-VC", r.id, r.out[op].view))
+				}
+				ovc := alloc.GrantableVC(escape, v)
+				if ovc < 0 {
+					continue
+				}
+				flat := ip*r.maxVCs + v
+				picks[flat] = vaPick{op: op, ovc: ovc, escape: escape, valid: true}
+				//vichar:alloc the nomination scratch is pre-sized to ports*maxVCs at construction; append never exceeds that capacity
+				flats = append(flats, flat)
+				r.Counters.VAOps++
+				r.probe.VAOp()
 			}
-			escape := st.pkt.Escaped
-			op := r.bestCandidate(st, escape)
-			if op < 0 {
-				continue
-			}
-			alloc, ok := r.out[op].view.(perVCAllocator)
-			if !ok {
-				//vichar:invariant non-ViChaR configurations always wire per-VC credit views; a mismatch is a construction bug
-				panic(fmt.Sprintf("router %d: %T cannot allocate per-VC", r.id, r.out[op].view))
-			}
-			ovc := alloc.GrantableVC(escape, v)
-			if ovc < 0 {
-				continue
-			}
-			flat := ip*r.maxVCs + v
-			picks[flat] = vaPick{op: op, ovc: ovc, escape: escape, valid: true}
-			//vichar:alloc the nomination scratch is pre-sized to ports*maxVCs at construction; append never exceeds that capacity
-			flats = append(flats, flat)
-			r.Counters.VAOps++
-			r.probe.VAOp()
 		}
 	}
 	r.vaFlats = flats
@@ -582,27 +687,31 @@ func (r *Router) tickVAGeneric(now int64) {
 		groups[k] = append(groups[k], flat)
 	}
 	r.vaKeys = keys
-	req := r.vaReq
+	req := r.reqWords
 	for _, k := range keys {
 		op, ovc := k/r.maxVCs, k%r.maxVCs
 		for i := range req {
-			req[i] = false
+			req[i] = 0
 		}
 		for _, flat := range groups[k] {
-			req[flat] = true
+			req[flat>>6] |= 1 << (uint(flat) & 63)
 		}
 		groups[k] = groups[k][:0]
-		w := r.vaS2G[op][ovc].Arbitrate(req)
+		w := r.vaS2G[k].ArbitrateMask(req)
 		if w < 0 {
 			continue
 		}
 		ip, v := w/r.maxVCs, w%r.maxVCs
-		st := &r.in[ip].vc[v]
+		win := &r.in[ip]
+		st := &win.vc[v]
 		alloc := r.out[op].view.(perVCAllocator)
 		alloc.ClaimVC(ovc)
 		st.state = vcActive
+		win.vaMask[v>>6] &^= 1 << (uint(v) & 63)
+		win.actMask[v>>6] |= 1 << (uint(v) & 63)
 		st.outPort = op
 		st.outVC = ovc
+		win.outInfo[v] = op<<outInfoShift | ovc
 		r.Counters.VCGrants++
 		grants++
 		if r.probe != nil {
@@ -617,36 +726,90 @@ func (r *Router) tickVAGeneric(now int64) {
 // through the crossbar onto their links.
 func (r *Router) tickSA(now int64) {
 	contenders, grants := 0, 0
-	req := r.vaReq[:r.maxVCs]
-	for ip, in := range r.in {
+	req := r.reqWords[:r.maskW]
+	for ip := range r.in {
 		r.saNominee[ip] = -1
 		if r.faults != nil && r.faults.Stalled(ip) {
 			continue
 		}
+		in := &r.in[ip]
 		any := false
-		if r.probe == nil {
-			// Uninstrumented fast path: this loop runs ports x VCs
-			// every cycle, so the probe bookkeeping below must not
-			// tax it.
-			for v := range in.vc {
-				st := &in.vc[v]
-				req[v] = st.state == vcActive &&
-					in.buf.Front(v, now) != nil &&
-					r.out[st.outPort].view.CanSendFlit(st.outVC)
-				any = any || req[v]
+		if r.probe == nil && in.ubs != nil {
+			// Uninstrumented ViChaR fast path: the unified buffer's
+			// readiness overlay collapses the whole-port head poll to
+			// one AND per 64 VCs, so the inner loop only visits VCs
+			// that both hold a granted route (actMask) and have a
+			// readable head flit — then checks downstream credit via
+			// the flat dispenser-view pointers and the packed outInfo
+			// route, all indexed loads with no dynamic dispatch.
+			rdy := in.ubs.ReadyWords(now)
+			for wi, wm := range in.actMask {
+				w := uint64(0)
+				for m := wm & rdy[wi]; m != 0; {
+					b := bits.TrailingZeros64(m)
+					m &^= 1 << uint(b)
+					info := in.outInfo[wi<<6+b]
+					ovc := info & (1<<outInfoShift - 1)
+					var ok bool
+					if ov := r.outVic[info>>outInfoShift]; ov != nil {
+						ok = ov.CanSendFlit(ovc)
+					} else {
+						ok = r.out[info>>outInfoShift].view.CanSendFlit(ovc)
+					}
+					if ok {
+						w |= 1 << uint(b)
+					}
+				}
+				req[wi] = w
+				any = any || w != 0
+			}
+		} else if r.probe == nil {
+			// Uninstrumented fast path for the fixed organizations:
+			// per-VC Ready polls through the buffer interface.
+			for wi, wm := range in.actMask {
+				w := uint64(0)
+				for m := wm; m != 0; {
+					b := bits.TrailingZeros64(m)
+					m &^= 1 << uint(b)
+					v := wi<<6 + b
+					ok := in.buf.Ready(v, now)
+					if ok {
+						info := in.outInfo[v]
+						ovc := info & (1<<outInfoShift - 1)
+						ok = r.out[info>>outInfoShift].view.CanSendFlit(ovc)
+					}
+					if ok {
+						w |= 1 << uint(b)
+					}
+				}
+				req[wi] = w
+				any = any || w != 0
 			}
 		} else {
-			for v := range in.vc {
-				st := &in.vc[v]
-				ready := st.state == vcActive && in.buf.Front(v, now) != nil
-				req[v] = ready && r.out[st.outPort].view.CanSendFlit(st.outVC)
-				if ready && !req[v] {
-					r.probe.CreditStall(st.outPort)
+			for wi, wm := range in.actMask {
+				w := uint64(0)
+				for m := wm; m != 0; {
+					b := bits.TrailingZeros64(m)
+					m &^= 1 << uint(b)
+					v := wi<<6 + b
+					info := in.outInfo[v]
+					op := info >> outInfoShift
+					ovc := info & (1<<outInfoShift - 1)
+					var ready bool
+					if in.ubs != nil {
+						ready = in.ubs.Ready(v, now)
+					} else {
+						ready = in.buf.Ready(v, now)
+					}
+					if ready && r.out[op].view.CanSendFlit(ovc) {
+						w |= 1 << uint(b)
+						contenders++
+					} else if ready {
+						r.probe.CreditStall(op)
+					}
 				}
-				any = any || req[v]
-				if req[v] {
-					contenders++
-				}
+				req[wi] = w
+				any = any || w != 0
 			}
 		}
 		if !any {
@@ -654,20 +817,30 @@ func (r *Router) tickSA(now int64) {
 		}
 		r.Counters.SAOps++
 		r.probe.SAOp()
-		r.saNominee[ip] = r.saS1[ip].Arbitrate(req)
+		r.saNominee[ip] = r.saS1[ip].ArbitrateMask(req)
 	}
-	req2 := r.saReq
-	for op := 0; op < r.ports; op++ {
-		anyReq := false
-		for ip := 0; ip < r.ports; ip++ {
-			v := r.saNominee[ip]
-			req2[ip] = v >= 0 && r.in[ip].vc[v].outPort == op
-			anyReq = anyReq || req2[ip]
-		}
-		if !anyReq {
+	// Stage 2: one pass over the nominees builds each contested output
+	// port's input-request word; ports are then arbitrated in ascending
+	// order (TrailingZeros over anyOp), exactly the old op loop's order
+	// but touching only ports somebody asked for.
+	opReq := r.opReq
+	var anyOp uint64
+	for ip := 0; ip < r.ports; ip++ {
+		v := r.saNominee[ip]
+		if v < 0 {
 			continue
 		}
-		w := r.saS2[op].Arbitrate(req2)
+		op := r.in[ip].outInfo[v] >> outInfoShift
+		if anyOp&(1<<uint(op)) == 0 {
+			anyOp |= 1 << uint(op)
+			opReq[op] = 0
+		}
+		opReq[op] |= 1 << uint(ip)
+	}
+	for m := anyOp; m != 0; {
+		op := bits.TrailingZeros64(m)
+		m &^= 1 << uint(op)
+		w := r.saS2[op].ArbitrateMask(opReq[op : op+1])
 		if w < 0 {
 			continue
 		}
@@ -680,12 +853,21 @@ func (r *Router) tickSA(now int64) {
 // forward pops the SA-winning flit and sends it across the crossbar
 // and link, returning a credit upstream.
 func (r *Router) forward(ip, v, op int, now int64) {
-	in := r.in[ip]
+	in := &r.in[ip]
 	st := &in.vc[v]
-	f, err := in.buf.Pop(v, now)
+	var f *flit.Flit
+	var err error
+	if in.ubs != nil {
+		f, err = in.ubs.Pop(v, now)
+	} else {
+		f, err = in.buf.Pop(v, now)
+	}
 	if err != nil {
 		//vichar:invariant SA only nominates VCs with a readable front flit within the same cycle
 		panic(fmt.Sprintf("router %d: SA winner vanished: %v", r.id, err))
+	}
+	if in.buf.Len(v) == 0 {
+		in.bufMask[v>>6] &^= 1 << (uint(v) & 63)
 	}
 	r.Counters.BufferReads++
 	r.Counters.XbarTraversals++
@@ -701,10 +883,16 @@ func (r *Router) forward(ip, v, op int, now int64) {
 	}
 
 	f.VC = st.outVC
-	r.out[op].view.OnSend(f)
+	if o := &r.out[op]; o.vichar != nil {
+		o.vichar.OnSend(f)
+	} else {
+		o.view.OnSend(f)
+	}
 	r.out[op].conn.SendFlit(f, now)
 
 	if f.IsTail() {
+		in.actMask[v>>6] &^= 1 << (uint(v) & 63)
+		in.outInfo[v] = 0
 		// Reset the VC state machine but keep the cands backing array:
 		// dropping it would make the next packet's routing computation
 		// reallocate on every VC turnover.
@@ -717,10 +905,33 @@ func (r *Router) forward(ip, v, op int, now int64) {
 // Occupied returns the total flits buffered across all input ports.
 func (r *Router) Occupied() int {
 	n := 0
-	for _, in := range r.in {
-		n += in.buf.Occupied()
+	for i := range r.in {
+		n += r.in[i].buf.Occupied()
 	}
 	return n
+}
+
+// Quiescent reports whether a Tick would be a pure no-op: no VC on
+// any input port buffers a flit, waits for allocation or holds a
+// grant, and no fault model is attached (fault schedules mutate state
+// every cycle regardless of traffic). The network's active-router
+// worklist uses this to put drained routers to sleep; every stage
+// iterates only the masks checked here, and the arbiters, counters
+// and probes are untouched when no request exists, so skipping a
+// quiescent router's Tick is bit-exact (DESIGN.md §14).
+func (r *Router) Quiescent() bool {
+	if r.faults != nil {
+		return false
+	}
+	for i := range r.in {
+		in := &r.in[i]
+		for w := range in.bufMask {
+			if in.bufMask[w]|in.vaMask[w]|in.actMask[w] != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TotalSlots returns the router's total input buffering.
@@ -731,11 +942,10 @@ func (r *Router) TotalSlots() int { return r.ports * r.cfg.BufferSlots }
 // packet or it still buffers flits.
 func (r *Router) InUseVCsPerPort() float64 {
 	n := 0
-	for _, in := range r.in {
-		for v := range in.vc {
-			if in.vc[v].state != vcIdle || in.buf.Len(v) > 0 {
-				n++
-			}
+	for i := range r.in {
+		in := &r.in[i]
+		for w := range in.bufMask {
+			n += bits.OnesCount64(in.bufMask[w] | in.vaMask[w] | in.actMask[w])
 		}
 	}
 	return float64(n) / float64(r.ports)
@@ -747,17 +957,52 @@ func (r *Router) InputBuffer(p int) buffers.Buffer { return r.in[p].buf }
 
 // AuditInvariants runs the invariant auditor over every input port
 // with a unified buffer, returning the first violation: VC Control
-// Table ↔ Slot Availability Tracker coherence, slot-leak freedom and
-// one-packet-per-VC. Ports without a UBS (the fixed organizations)
-// have no cross-view bookkeeping to diverge and are skipped. The
-// network invokes this every cycle when Config.Audit is set.
-func (r *Router) AuditInvariants() error {
-	for p, in := range r.in {
+// Table ↔ Slot Availability Tracker coherence, slot-leak freedom,
+// one-packet-per-VC, and the readiness overlay agreeing with the
+// head stamps at cycle now. Ports without a UBS (the fixed
+// organizations) have no cross-view bookkeeping to diverge and skip
+// the UBS checks. The network invokes this every cycle when
+// Config.Audit is set.
+func (r *Router) AuditInvariants(now int64) error {
+	for p := range r.in {
+		in := &r.in[p]
+		// Scan masks must mirror the buffer and VC state machines —
+		// the worklist's quiescence decision and every tick stage's
+		// iteration set depend on it.
+		for v := 0; v < r.maxVCs; v++ {
+			w, bit := v>>6, uint64(1)<<(uint(v)&63)
+			if got, want := in.bufMask[w]&bit != 0, in.buf.Len(v) > 0; got != want {
+				//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
+				return fmt.Errorf("router %d port %d vc %d: bufMask=%v but buffered=%d", r.id, p, v, got, in.buf.Len(v))
+			}
+			st := in.vc[v].state
+			if got, want := in.vaMask[w]&bit != 0, st == vcWaitVA; got != want {
+				//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
+				return fmt.Errorf("router %d port %d vc %d: vaMask=%v but state=%d", r.id, p, v, got, st)
+			}
+			if got, want := in.actMask[w]&bit != 0, st == vcActive; got != want {
+				//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
+				return fmt.Errorf("router %d port %d vc %d: actMask=%v but state=%d", r.id, p, v, got, st)
+			}
+			// The packed SA-scan route must mirror the VC state machine
+			// while the VC is active (it is dead state otherwise).
+			if st == vcActive {
+				want := in.vc[v].outPort<<outInfoShift | in.vc[v].outVC
+				if in.outInfo[v] != want {
+					//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
+					return fmt.Errorf("router %d port %d vc %d: outInfo=%#x want %#x", r.id, p, v, in.outInfo[v], want)
+				}
+			}
+		}
 		ubs, ok := in.buf.(*core.UBS)
 		if !ok {
 			continue
 		}
 		if err := audit.CheckUBS(ubs); err != nil {
+			return fmt.Errorf("router %d port %d: %w", r.id, p, err)
+		}
+		if err := ubs.CheckReadyMasks(now); err != nil {
+			//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
 			return fmt.Errorf("router %d port %d: %w", r.id, p, err)
 		}
 	}
@@ -771,7 +1016,8 @@ func (r *Router) DebugState() string {
 	var b []byte
 	b = fmt.Appendf(b, "router %d\n", r.id)
 	stateName := map[uint8]string{vcIdle: "idle", vcWaitVA: "waitVA", vcActive: "active"}
-	for ip, in := range r.in {
+	for ip := range r.in {
+		in := &r.in[ip]
 		for v := range in.vc {
 			st := &in.vc[v]
 			if st.state == vcIdle && in.buf.Len(v) == 0 {
@@ -787,7 +1033,8 @@ func (r *Router) DebugState() string {
 			b = append(b, '\n')
 		}
 	}
-	for op, out := range r.out {
+	for op := range r.out {
+		out := &r.out[op]
 		if out.view == nil {
 			continue
 		}

@@ -6,6 +6,7 @@ import (
 	"vichar/internal/config"
 	"vichar/internal/core"
 	"vichar/internal/flit"
+	"vichar/internal/soa"
 )
 
 // CreditView is the upstream mirror of a downstream input port's
@@ -44,18 +45,24 @@ type CreditView interface {
 
 // NewCreditView builds the view matching the configuration's buffer
 // architecture, mirroring one downstream input port.
-func NewCreditView(cfg *config.Config) CreditView {
+func NewCreditView(cfg *config.Config) CreditView { return NewCreditViewIn(nil, cfg) }
+
+// NewCreditViewIn is NewCreditView drawing the view's per-VC counters
+// and flags from the network arena (nil-arena safe), so the credit
+// state the tick path debits sits beside the rest of the router's hot
+// state (DESIGN.md §14).
+func NewCreditViewIn(a *Arena, cfg *config.Config) CreditView {
 	escape := 0
 	if cfg.NeedsEscape() {
 		escape = cfg.EscapeVCs
 	}
 	switch cfg.Arch {
 	case config.Generic:
-		return newGenericView(cfg.VCs, cfg.VCDepth, escape, cfg.AtomicVCAlloc)
+		return newGenericView(a.Soa(), cfg.VCs, cfg.VCDepth, escape, cfg.AtomicVCAlloc)
 	case config.ViChaR:
-		return newViCharView(cfg.BufferSlots, cfg.MaxVCs(), escape)
+		return newViCharView(a.Soa(), cfg.BufferSlots, cfg.MaxVCs(), escape)
 	case config.DAMQ, config.FCCB:
-		return newSharedView(cfg.VCs, cfg.BufferSlots, escape)
+		return newSharedView(a.Soa(), cfg.VCs, cfg.BufferSlots, escape)
 	default:
 		panic(fmt.Sprintf("router: unknown buffer architecture %v", cfg.Arch))
 	}
@@ -74,11 +81,11 @@ type genericView struct {
 	rr      int // round-robin pointer for AllocVC
 }
 
-func newGenericView(vcs, depth, escape int, atomic bool) *genericView {
+func newGenericView(a *soa.Arena, vcs, depth, escape int, atomic bool) *genericView {
 	v := &genericView{
 		depth:   depth,
-		credits: make([]int, vcs),
-		open:    make([]bool, vcs),
+		credits: a.TakeInts(vcs),
+		open:    a.TakeBools(vcs),
 		escBase: vcs - escape,
 		atomic:  atomic,
 	}
@@ -234,16 +241,16 @@ type sharedView struct {
 	rr         int
 }
 
-func newSharedView(vcs, slots, escape int) *sharedView {
+func newSharedView(a *soa.Arena, vcs, slots, escape int) *sharedView {
 	if slots < vcs {
 		panic(fmt.Sprintf("router: shared view needs a reservable slot per VC, got %d slots for %d VCs", slots, vcs))
 	}
 	v := &sharedView{
 		slots:      slots,
 		sharedFree: slots - vcs,
-		resFree:    make([]bool, vcs),
-		held:       make([]int, vcs),
-		open:       make([]bool, vcs),
+		resFree:    a.TakeBools(vcs),
+		held:       a.TakeInts(vcs),
+		open:       a.TakeBools(vcs),
 		escBase:    vcs - escape,
 	}
 	for i := range v.resFree {
@@ -407,14 +414,14 @@ type vicharView struct {
 	held       []int  // per VC: flits resident downstream
 }
 
-func newViCharView(slots, vcs, escape int) *vicharView {
+func newViCharView(a *soa.Arena, slots, vcs, escape int) *vicharView {
 	return &vicharView{
 		slots:      slots,
 		sharedFree: slots,
-		dispenser:  core.NewDispenser(vcs, escape),
-		resFree:    make([]bool, vcs),
-		granted:    make([]bool, vcs),
-		held:       make([]int, vcs),
+		dispenser:  core.NewDispenserIn(a, vcs, escape),
+		resFree:    a.TakeBools(vcs),
+		granted:    a.TakeBools(vcs),
+		held:       a.TakeInts(vcs),
 	}
 }
 
