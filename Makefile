@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-hot alloc-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs bench-compare bench-smoke experiments paper synth examples clean
+.PHONY: all build vet lint lint-hot alloc-check snapshot-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs bench-compare bench-smoke experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -32,6 +32,16 @@ lint-hot:
 # heap allocations at steady state for all four buffer architectures.
 alloc-check:
 	$(GO) test ./internal/network/ -run TestStepAllocFree -count=1 -v
+
+# The bit-identical resume contract (DESIGN.md §15): snapshot at C,
+# restore, run to completion — results, latencies, counters and flit
+# events byte-equal to the straight-through run for every
+# architecture, with faults and metrics on, in-process and across a
+# process boundary, plus corruption rejection and the mid-hold cut.
+snapshot-check:
+	$(GO) test . -run 'TestSnapshot|TestRestore|TestRunCheckpointed' -count=1
+	$(GO) test ./internal/network/ -run 'TestSnapshot' -count=1
+	$(GO) test ./experiments/ -run 'TestBranchSweep' -count=1
 
 test:
 	$(GO) test ./...

@@ -53,6 +53,10 @@ func main() {
 			"fault model spec: seed=N,drop=R,corrupt=R,retx=N,stall=R[:N],kill=NODE.PORT@CYC,freeze=NODE.PORT@CYC+N,drop1=NODE.PORT@CYC")
 		auditOn = flag.Bool("audit", false, "run the per-cycle invariant auditor (slow; catches conservation bugs)")
 
+		ckptEvery = flag.Int64("checkpoint-every", 0, "write a checkpoint every N cycles (requires -checkpoint-file)")
+		ckptFile  = flag.String("checkpoint-file", "", "checkpoint destination; atomically replaced at each cadence")
+		restoreIn = flag.String("restore", "", "resume from a checkpoint file (config flags are ignored; -rate/-warmup/-measure override the snapshot)")
+
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live Prometheus-text metrics at this address (/metrics, /trace, /debug/pprof/); implies -metrics")
 		metricsOn  = flag.Bool("metrics", false, "enable the metrics registry even without -metrics-addr")
@@ -142,9 +146,36 @@ func main() {
 	if *traceIn != "" {
 		cfg.InjectionRate = 0
 	}
-	sim, err := vichar.NewSimulator(cfg)
-	if err != nil {
-		log.Fatal(err)
+	var sim *vichar.Simulator
+	if *restoreIn != "" {
+		if *traceIn != "" {
+			log.Fatal("-restore cannot be combined with -replay-trace; the snapshot carries its own schedule")
+		}
+		blob, err := os.ReadFile(*restoreIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var o vichar.Overrides
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "rate":
+				o.InjectionRate = rate
+			case "warmup":
+				o.WarmupPackets = warmup
+			case "measure":
+				o.MeasurePackets = measure
+			}
+		})
+		if sim, err = vichar.RestoreWith(blob, o); err != nil {
+			log.Fatal(err)
+		}
+		cfg = sim.Config()
+		fmt.Printf("restored      : %s at cycle %d\n", *restoreIn, sim.Now())
+	} else {
+		var err error
+		if sim, err = vichar.NewSimulator(cfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer sim.Close()
 
@@ -183,7 +214,25 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	res := sim.Run()
+	var res vichar.Results
+	if *ckptEvery > 0 {
+		if *ckptFile == "" {
+			log.Fatal("-checkpoint-every requires -checkpoint-file")
+		}
+		var err error
+		res, err = sim.RunCheckpointed(*ckptEvery, func(cycle int64, data []byte) error {
+			tmp := *ckptFile + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err != nil {
+				return err
+			}
+			return os.Rename(tmp, *ckptFile)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res = sim.Run()
+	}
 	if *traceJSONL != "" {
 		f, err := os.Create(*traceJSONL)
 		if err != nil {

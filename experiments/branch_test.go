@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vichar"
+)
+
+// TestBranchSweep checks the warm-once/branch-N protocol: every
+// branch completes its measurement quota at its own rate, points line
+// up with the requested rates, and the whole sweep is deterministic.
+func TestBranchSweep(t *testing.T) {
+	cfg := vichar.DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Arch = vichar.ViChaR
+	cfg.InjectionRate = 0.15
+	cfg.Seed = 5
+	opts := Options{WarmupPackets: 60, MeasurePackets: 150, MaxCycles: 20_000, Workers: 2}
+	rates := []float64{0.05, 0.15, 0.25}
+
+	run := func() Series {
+		s, err := BranchSweep(cfg, rates, Latency, opts)
+		if err != nil {
+			t.Fatalf("BranchSweep: %v", err)
+		}
+		return s
+	}
+	s := run()
+	if len(s.Points) != len(rates) {
+		t.Fatalf("sweep produced %d points, want %d", len(s.Points), len(rates))
+	}
+	for i, p := range s.Points {
+		if p.X != rates[i] {
+			t.Errorf("point %d at rate %v, want %v", i, p.X, rates[i])
+		}
+		if p.Results.InjectionRate != rates[i] {
+			t.Errorf("point %d results report rate %v, want %v", i, p.Results.InjectionRate, rates[i])
+		}
+		if p.Results.MeasuredPackets != int64(opts.MeasurePackets) {
+			t.Errorf("point %d measured %d packets, want %d", i, p.Results.MeasuredPackets, opts.MeasurePackets)
+		}
+		if p.Y <= 0 {
+			t.Errorf("point %d has non-positive latency %v", i, p.Y)
+		}
+	}
+	if again := run(); !reflect.DeepEqual(s, again) {
+		t.Errorf("BranchSweep is not deterministic across invocations")
+	}
+
+	if _, err := BranchSweep(cfg, nil, Latency, opts); err == nil {
+		t.Fatalf("BranchSweep accepted an empty rate list")
+	}
+}

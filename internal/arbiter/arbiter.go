@@ -44,6 +44,19 @@ func (a *RoundRobin) Size() int { return a.n }
 // Reset restores the priority pointer to input 0.
 func (a *RoundRobin) Reset() { a.next = 0 }
 
+// Pos returns the priority pointer — the arbiter's only mutable
+// state — for checkpointing.
+func (a *RoundRobin) Pos() int { return a.next }
+
+// SetPos restores a checkpointed priority pointer.
+func (a *RoundRobin) SetPos(pos int) error {
+	if pos < 0 || pos >= a.n {
+		return fmt.Errorf("arbiter: priority pointer %d outside a %d-input arbiter", pos, a.n)
+	}
+	a.next = pos
+	return nil
+}
+
 // Arbitrate grants the first requester at or after the priority
 // pointer, then advances the pointer past the winner.
 func (a *RoundRobin) Arbitrate(requests []bool) int {

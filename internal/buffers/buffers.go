@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"vichar/internal/flit"
+	"vichar/internal/snap"
 )
 
 // Common buffer errors.
@@ -61,6 +62,18 @@ type Buffer interface {
 	Occupied() int
 	// InUseVCs returns how many VCs currently hold at least one flit.
 	InUseVCs() int
+	// ForEachFlit calls fn for every flit currently stored, in no
+	// particular order; checkpointing walks it to find every packet
+	// still referenced by buffered flits.
+	ForEachFlit(fn func(*flit.Flit))
+	// SaveState serializes the buffer's mutable contents for a
+	// checkpoint; wiring and shape are not stored — they re-derive
+	// from the configuration at restore time.
+	SaveState(w *snap.Writer)
+	// LoadState restores contents saved by SaveState into a buffer
+	// constructed with the same shape. Flit references resolve
+	// through the caller's resolver; queue backing arrays are reused.
+	LoadState(r *snap.Reader, resolve snap.Resolver) error
 }
 
 // fifo is a slice-backed FIFO with O(1) amortized operations; it

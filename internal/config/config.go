@@ -183,8 +183,10 @@ type Config struct {
 	PacketSizeMax int
 
 	// HotspotFraction is the probability a Hotspot-pattern packet
-	// targets the hot node instead of a uniform destination
-	// (default 0.1 when the pattern is Hotspot and this is zero).
+	// targets the hot node instead of a uniform destination. Default
+	// carries 0.1; the value is used exactly as configured, and
+	// Validate rejects a non-positive fraction when the pattern is
+	// Hotspot — an explicit 0 is an error, not a silent 0.1.
 	HotspotFraction float64
 
 	// Speculative selects the low-latency router organization the
@@ -301,6 +303,8 @@ func Default() Config {
 		FlitWidthBits: 128,
 		PacketSize:    4,
 
+		HotspotFraction: 0.1,
+
 		Arch:    Generic,
 		Routing: XY,
 		Traffic: UniformRandom,
@@ -413,6 +417,17 @@ func (c *Config) Validate() error {
 	}
 	if c.HotspotFraction < 0 || c.HotspotFraction > 1 {
 		return fmt.Errorf("config: hotspot fraction must be in [0,1], got %g", c.HotspotFraction)
+	}
+	if c.Dest == Hotspot && c.HotspotFraction <= 0 {
+		// The zero value is rejected rather than silently replaced;
+		// Default() resolves the 0.1 default.
+		return fmt.Errorf("config: hotspot traffic needs a positive fraction, got %g (Default() carries 0.1)", c.HotspotFraction)
+	}
+	if c.Dest == Transpose && c.Width != c.Height {
+		// (x,y) -> (y,x) is only a permutation of a square mesh; on a
+		// rectangular one some nodes would receive double traffic and
+		// others none.
+		return fmt.Errorf("config: transpose traffic needs a square mesh, got %dx%d", c.Width, c.Height)
 	}
 	if c.Arch != Generic && c.BufferSlots < c.VCs {
 		// A unified pool smaller than the fixed VC count would leave

@@ -274,3 +274,41 @@ func TestTorusValidation(t *testing.T) {
 		t.Fatal("mesh XY reports needing escape")
 	}
 }
+
+// The transpose pattern is only a permutation of a square mesh;
+// Validate must reject rectangles instead of letting some nodes
+// receive double traffic and others none.
+func TestValidateRejectsRectangularTranspose(t *testing.T) {
+	cfg := Default()
+	cfg.Dest = Transpose
+	cfg.Width, cfg.Height = 8, 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("8x4 transpose validated")
+	}
+	cfg.Width, cfg.Height = 8, 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("8x8 transpose rejected: %v", err)
+	}
+}
+
+// The hotspot fraction's zero value is rejected, not silently turned
+// into 0.1; the default resolves in Default().
+func TestHotspotFractionZeroValue(t *testing.T) {
+	if got := Default().HotspotFraction; got != 0.1 {
+		t.Fatalf("Default hotspot fraction = %g, want 0.1", got)
+	}
+	cfg := Default()
+	cfg.Dest = Hotspot
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default hotspot config rejected: %v", err)
+	}
+	cfg.HotspotFraction = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("explicit HotspotFraction=0 with hotspot traffic validated")
+	}
+	// Other patterns don't require the fraction at all.
+	cfg.Dest = NormalRandom
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero fraction without hotspot traffic rejected: %v", err)
+	}
+}

@@ -255,6 +255,16 @@ func (s *LinkState) Release() *flit.Flit {
 	return f
 }
 
+// HeldFlit returns the flit parked in the retransmission buffer, or
+// nil. Safe on nil; checkpointing walks it to find every packet still
+// referenced by a mid-retransmission flit.
+func (s *LinkState) HeldFlit() *flit.Flit {
+	if s == nil {
+		return nil
+	}
+	return s.holding
+}
+
 // Held returns the number of flits parked in the retransmission
 // buffer (0 or 1) — the declared-fault term of the link's credit
 // conservation equation. Safe on nil.

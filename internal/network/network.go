@@ -1127,10 +1127,24 @@ func (n *Network) sample(now int64) {
 // configuration label and offered load; power annotation is the
 // caller's concern.
 func (n *Network) Run() stats.Results {
+	res, _ := n.RunWith(nil)
+	return res
+}
+
+// RunWith executes the measurement protocol exactly like Run, calling
+// hook (when non-nil) between completed cycles — the only point where
+// a checkpoint is legal. A non-nil error from hook aborts the run and
+// is returned verbatim; the hook must not Step the network itself.
+func (n *Network) RunWith(hook func(now int64) error) (stats.Results, error) {
 	maxCycles := n.cfg.EffectiveMaxCycles()
 	saturated := false
 	for {
 		n.Step()
+		if hook != nil {
+			if err := hook(n.now); err != nil {
+				return stats.Results{}, err
+			}
+		}
 		if n.collector.Done() {
 			break
 		}
@@ -1154,7 +1168,7 @@ func (n *Network) Run() stats.Results {
 	res.ChannelLoads, res.MaxChannelLoad = n.channelLoads(res.MeasureCycles)
 	res.Label = n.cfg.Label()
 	res.InjectionRate = n.cfg.InjectionRate
-	return res
+	return res, nil
 }
 
 // channelLoads converts the bracketed per-link flit counts into loads

@@ -8,20 +8,24 @@ package traffic
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"vichar/internal/config"
+	"vichar/internal/rng"
+	"vichar/internal/snap"
 	"vichar/internal/topology"
 )
 
 // Generator produces packet creation events for every node. Each node
 // owns an independent deterministic random stream so results are
-// reproducible and insensitive to node iteration order.
+// reproducible and insensitive to node iteration order. The streams
+// are rng.Stream draw-counting shims, so a generator's position can
+// be checkpointed as per-node (seed, draws) pairs and restored
+// bit-exactly (SaveState/LoadState).
 type Generator struct {
 	cfg     *config.Config
 	mesh    topology.Mesh
 	pktProb float64 // per-cycle packet probability at the target rate
-	rngs    []*rand.Rand
+	rngs    []*rng.Stream
 	onoff   []onOffState // used when cfg.Traffic == SelfSimilar
 	peak    float64      // ON-state injection rate, flits/cycle
 	hot     int          // hotspot destination node
@@ -45,26 +49,30 @@ const (
 	meanOn   = 40.0
 )
 
-// defaultHotspotFraction applies when the Hotspot pattern is selected
-// without an explicit fraction.
-const defaultHotspotFraction = 0.1
+// seedFor derives the node's stream seed from the run seed; the large
+// odd multiplier decorrelates adjacent node streams.
+func seedFor(seed int64, node int) int64 {
+	return seed*1_000_003 + int64(node)*7_919 + 11
+}
 
 // New returns a generator for the configuration. It panics on a
-// configuration whose rate cannot be realized (rate above the ON-peak
-// for self-similar traffic).
+// configuration Validate would reject as unrealizable (rate above the
+// ON-peak for self-similar traffic, transpose on a rectangle).
 func New(cfg *config.Config, mesh topology.Mesh) *Generator {
 	g := &Generator{
 		cfg:     cfg,
 		mesh:    mesh,
 		pktProb: cfg.InjectionRate / meanPacketSize(cfg),
-		rngs:    make([]*rand.Rand, mesh.Nodes()),
+		rngs:    make([]*rng.Stream, mesh.Nodes()),
 		peak:    1.0,
 		hot:     mesh.Node(mesh.Width/2, mesh.Height/2),
 	}
 	for i := range g.rngs {
-		// Distinct, seed-derived stream per node; the large odd
-		// multiplier decorrelates adjacent node streams.
-		g.rngs[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7_919 + 11))
+		// Distinct, seed-derived stream per node.
+		g.rngs[i] = rng.New(seedFor(cfg.Seed, i))
+	}
+	if cfg.Dest == config.Transpose && mesh.Width != mesh.Height {
+		panic(fmt.Sprintf("traffic: transpose needs a square mesh, got %dx%d", mesh.Width, mesh.Height))
 	}
 	if cfg.Traffic == config.SelfSimilar {
 		if cfg.InjectionRate >= g.peak {
@@ -72,12 +80,24 @@ func New(cfg *config.Config, mesh topology.Mesh) *Generator {
 		}
 		g.onoff = make([]onOffState, mesh.Nodes())
 		for i := range g.onoff {
-			// Start each source in a random phase of an OFF period so
-			// the network does not begin with synchronized bursts.
-			g.onoff[i] = onOffState{on: false, remaining: 1 + g.rngs[i].Int63n(int64(meanOn))}
+			// Start each source in an OFF period drawn from the
+			// configured rate's own OFF distribution: a fixed
+			// Int63n(meanOn) phase would start low-rate runs with OFF
+			// periods far shorter than steady state, biasing the early
+			// cycles toward synchronized over-injection.
+			g.onoff[i] = onOffState{on: false, remaining: g.offPeriod(g.rngs[i])}
 		}
 	}
 	return g
+}
+
+// offPeriod draws one OFF-period length for the configured rate.
+func (g *Generator) offPeriod(stream *rng.Stream) int64 {
+	mo := g.meanOff()
+	if math.IsInf(mo, 1) {
+		return math.MaxInt64 / 2
+	}
+	return pareto(stream, alphaOff, mo)
 }
 
 // meanPacketSize returns the expected flits per packet, accounting
@@ -101,11 +121,11 @@ func (g *Generator) meanOff() float64 {
 
 // pareto draws a Pareto(alpha, xm) variate where xm is derived from
 // the requested mean: mean = alpha*xm/(alpha-1).
-func pareto(rng *rand.Rand, alpha, mean float64) int64 {
+func pareto(stream *rng.Stream, alpha, mean float64) int64 {
 	xm := mean * (alpha - 1) / alpha
-	u := rng.Float64()
+	u := stream.Float64()
 	for u == 0 {
-		u = rng.Float64()
+		u = stream.Float64()
 	}
 	d := xm / math.Pow(u, 1/alpha)
 	if d < 1 {
@@ -141,30 +161,25 @@ func (g *Generator) PacketSize(node int) int {
 
 // generates decides whether the node creates a packet this cycle.
 func (g *Generator) generates(node int) bool {
-	rng := g.rngs[node]
+	stream := g.rngs[node]
 	switch g.cfg.Traffic {
 	case config.UniformRandom:
-		return g.pktProb > 0 && rng.Float64() < g.pktProb
+		return g.pktProb > 0 && stream.Float64() < g.pktProb
 	case config.SelfSimilar:
 		st := &g.onoff[node]
 		for st.remaining <= 0 {
 			st.on = !st.on
 			if st.on {
-				st.remaining = pareto(rng, alphaOn, meanOn)
+				st.remaining = pareto(stream, alphaOn, meanOn)
 			} else {
-				mo := g.meanOff()
-				if math.IsInf(mo, 1) {
-					st.remaining = math.MaxInt64 / 2
-				} else {
-					st.remaining = pareto(rng, alphaOff, mo)
-				}
+				st.remaining = g.offPeriod(stream)
 			}
 		}
 		st.remaining--
 		if !st.on {
 			return false
 		}
-		return rng.Float64() < g.peak/meanPacketSize(g.cfg)
+		return stream.Float64() < g.peak/meanPacketSize(g.cfg)
 	default:
 		panic(fmt.Sprintf("traffic: unknown process %v", g.cfg.Traffic))
 	}
@@ -180,10 +195,10 @@ func (g *Generator) generates(node int) bool {
 // nodes. The fallback consumes the node's own RNG stream, keeping the
 // draw order deterministic and independent of other nodes.
 func (g *Generator) Destination(src int) int {
-	rng := g.rngs[src]
+	stream := g.rngs[src]
 	switch g.cfg.Dest {
 	case config.NormalRandom:
-		return g.uniformOther(rng, src)
+		return g.uniformOther(stream, src)
 	case config.Tornado:
 		// Tornado offsets each packet ceil(k/2)-1 hops along X
 		// (Singh et al., ISCA 2003), stressing the X bisection.
@@ -194,34 +209,34 @@ func (g *Generator) Destination(src int) int {
 		}
 		return g.mesh.Node((x+off)%g.mesh.Width, y)
 	case config.Transpose:
+		// (x,y) -> (y,x); the mesh is square (enforced by Validate and
+		// by New), so the swapped coordinates are always in range.
 		x, y := g.mesh.XY(src)
-		if dst := g.mesh.Node(y%g.mesh.Width, x%g.mesh.Height); dst != src {
+		if dst := g.mesh.Node(y, x); dst != src {
 			return dst
 		}
-		return g.uniformOther(rng, src)
+		return g.uniformOther(stream, src)
 	case config.BitComplement:
 		if dst := g.mesh.Nodes() - 1 - src; dst != src {
 			return dst
 		}
-		return g.uniformOther(rng, src)
+		return g.uniformOther(stream, src)
 	case config.Hotspot:
-		frac := g.cfg.HotspotFraction
-		if frac == 0 {
-			frac = defaultHotspotFraction
-		}
-		if src != g.hot && rng.Float64() < frac {
+		// HotspotFraction is used exactly as configured: Default()
+		// carries 0.1 and Validate rejects a non-positive fraction.
+		if src != g.hot && stream.Float64() < g.cfg.HotspotFraction {
 			return g.hot
 		}
-		return g.uniformOther(rng, src)
+		return g.uniformOther(stream, src)
 	default:
 		panic(fmt.Sprintf("traffic: unknown destination pattern %v", g.cfg.Dest))
 	}
 }
 
 // uniformOther draws uniformly among all nodes except src.
-func (g *Generator) uniformOther(rng *rand.Rand, src int) int {
+func (g *Generator) uniformOther(stream *rng.Stream, src int) int {
 	n := g.mesh.Nodes()
-	d := rng.Intn(n - 1)
+	d := stream.Intn(n - 1)
 	if d >= src {
 		d++
 	}
@@ -230,3 +245,42 @@ func (g *Generator) uniformOther(rng *rand.Rand, src int) int {
 
 // HotNode returns the hotspot destination (the mesh center).
 func (g *Generator) HotNode() int { return g.hot }
+
+// SaveState serializes the generator's mutable state: per-node stream
+// draw counts plus the ON/OFF source phases. Seeds are not stored —
+// they re-derive from the config at restore time.
+func (g *Generator) SaveState(w *snap.Writer) {
+	w.Section("traffic")
+	w.Int(len(g.rngs))
+	for _, s := range g.rngs {
+		w.U64(s.Draws())
+	}
+	w.Int(len(g.onoff))
+	for _, st := range g.onoff {
+		w.Bool(st.on)
+		w.I64(st.remaining)
+	}
+}
+
+// LoadState restores the state written by SaveState into a generator
+// freshly constructed from the same structural configuration: each
+// node stream is re-seeded and fast-forwarded to its saved draw
+// count.
+func (g *Generator) LoadState(r *snap.Reader) error {
+	if err := r.Section("traffic"); err != nil {
+		return err
+	}
+	if n := r.Int(); n != len(g.rngs) {
+		return fmt.Errorf("traffic: snapshot has %d node streams, generator has %d", n, len(g.rngs))
+	}
+	for i := range g.rngs {
+		g.rngs[i] = rng.Restore(seedFor(g.cfg.Seed, i), r.U64())
+	}
+	if n := r.Int(); n != len(g.onoff) {
+		return fmt.Errorf("traffic: snapshot has %d ON/OFF sources, generator has %d", n, len(g.onoff))
+	}
+	for i := range g.onoff {
+		g.onoff[i] = onOffState{on: r.Bool(), remaining: r.I64()}
+	}
+	return r.Err()
+}

@@ -2,8 +2,9 @@ package traffic
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+	"vichar/internal/rng"
+	"vichar/internal/snap"
 
 	"vichar/internal/config"
 	"vichar/internal/topology"
@@ -274,7 +275,7 @@ func TestParetoProperties(t *testing.T) {
 }
 
 // newTestRand builds the same RNG type the generator uses.
-func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func newTestRand(seed int64) *rng.Stream { return rng.New(seed) }
 
 func TestTransposePattern(t *testing.T) {
 	cfg := cfgWith(config.UniformRandom, config.Transpose, 0.2, 12)
@@ -437,6 +438,159 @@ func TestOfferedLoadDeliveredAllPatterns(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestTransposeIsPermutation pins the satellite fix for transpose on
+// rectangles: on the (square) meshes Validate admits, the
+// deterministic part of the pattern must be a bijection — no
+// off-diagonal node may be targeted by two sources or by none.
+func TestTransposeIsPermutation(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Transpose, 0.2, 20)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	hits := make([]int, mesh.Nodes())
+	for src := 0; src < mesh.Nodes(); src++ {
+		x, y := mesh.XY(src)
+		if x == y {
+			continue // diagonal falls back to a uniform redraw
+		}
+		hits[g.Destination(src)]++
+	}
+	for node, n := range hits {
+		x, y := mesh.XY(node)
+		want := 1
+		if x == y {
+			want = 0
+		}
+		if n != want {
+			t.Fatalf("node %d (%d,%d) targeted %d times, want %d", node, x, y, n, want)
+		}
+	}
+}
+
+// TestTransposeDeliveredLoadHistogram checks delivered load, not just
+// the mapping: every off-diagonal node must receive approximately the
+// per-node offered load — the rectangular-mesh bug concentrated
+// double load on some nodes and none on others.
+func TestTransposeDeliveredLoadHistogram(t *testing.T) {
+	const rate, cycles = 0.30, 20_000
+	cfg := cfgWith(config.UniformRandom, config.Transpose, rate, 21)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	recv := make([]int64, mesh.Nodes())
+	for now := int64(1); now <= cycles; now++ {
+		g.Tick(now, func(src, dst, size int) { recv[dst]++ })
+	}
+	for node, c := range recv {
+		x, y := mesh.XY(node)
+		if x == y {
+			continue // diagonal receives only diagonal fallbacks
+		}
+		got := float64(c) * float64(cfg.PacketSize) / cycles
+		if got < 0.6*rate || got > 1.5*rate {
+			t.Fatalf("node %d (%d,%d) delivered load %.4f, want ≈%.2f", node, x, y, got, rate)
+		}
+	}
+}
+
+// TestTransposeRejectsRectangle mirrors Config.Validate's check at
+// the generator constructor for callers that bypass validation.
+func TestTransposeRejectsRectangle(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Transpose, 0.2, 22)
+	cfg.Width, cfg.Height = 8, 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transpose on an 8x4 mesh did not panic")
+		}
+	}()
+	New(cfg, topology.New(8, 4))
+}
+
+// TestSelfSimilarWarmStartUnbiased pins the satellite fix for the
+// warm-start bias: at a low configured rate the initial OFF phase
+// must come from the rate's own Pareto OFF distribution (mean ≈1960
+// cycles at rate 0.02), so the first few hundred cycles cannot begin
+// with every source bursting at the ON peak, as the old fixed
+// Int63n(meanOn) phase guaranteed.
+func TestSelfSimilarWarmStartUnbiased(t *testing.T) {
+	const rate, window = 0.02, 500
+	cfg := cfgWith(config.SelfSimilar, config.NormalRandom, rate, 23)
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	var total int64
+	for now := int64(1); now <= window; now++ {
+		g.Tick(now, func(src, dst, size int) { total++ })
+	}
+	early := float64(total) * float64(cfg.PacketSize) / (window * float64(mesh.Nodes()))
+	// The biased warm start measured ≈0.1+ here (every source ON
+	// within its first 40 cycles); the unbiased one stays near the
+	// configured rate.
+	if early > 5*rate {
+		t.Fatalf("early-window offered load %.4f is %.1fx the configured %.2f — warm-start bias", early, early/rate, rate)
+	}
+}
+
+// TestHotspotFractionHonored checks the zero-value fix: the generator
+// uses the configured fraction exactly, so a (validation-bypassing)
+// zero yields no directed hotspot traffic at all rather than a
+// silent 0.1.
+func TestHotspotFractionHonored(t *testing.T) {
+	cfg := cfgWith(config.UniformRandom, config.Hotspot, 0.2, 24)
+	cfg.HotspotFraction = 0
+	mesh := topology.New(cfg.Width, cfg.Height)
+	g := New(cfg, mesh)
+	hits := 0
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		if g.Destination(0) == g.HotNode() {
+			hits++
+		}
+	}
+	// Only the uniform component may land on the hot node: 1/63.
+	if frac := float64(hits) / draws; frac > 0.03 {
+		t.Fatalf("hot fraction %.3f with HotspotFraction=0, want only the uniform component", frac)
+	}
+}
+
+// TestGeneratorStateRoundTrip drives a generator, checkpoints it,
+// restores into a freshly constructed one, and requires the two event
+// streams to stay identical — the traffic half of the simulator's
+// bit-identical resume contract.
+func TestGeneratorStateRoundTrip(t *testing.T) {
+	for _, proc := range []config.TrafficProcess{config.UniformRandom, config.SelfSimilar} {
+		cfg := cfgWith(proc, config.Hotspot, 0.22, 25)
+		cfg.PacketSizeMax = cfg.PacketSize + 3
+		mesh := topology.New(cfg.Width, cfg.Height)
+		g := New(cfg, mesh)
+		for now := int64(1); now <= 5_000; now++ {
+			g.Tick(now, func(src, dst, size int) {})
+		}
+		w := snap.NewWriter()
+		g.SaveState(w)
+		data := w.Finish()
+
+		r, err := snap.Open(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := New(cfg, mesh)
+		if err := g2.LoadState(r); err != nil {
+			t.Fatal(err)
+		}
+		for now := int64(5_001); now <= 10_000; now++ {
+			var a, b [][3]int
+			g.Tick(now, func(src, dst, size int) { a = append(a, [3]int{src, dst, size}) })
+			g2.Tick(now, func(src, dst, size int) { b = append(b, [3]int{src, dst, size}) })
+			if len(a) != len(b) {
+				t.Fatalf("%v cycle %d: %d vs %d events", proc, now, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v cycle %d event %d: %v vs %v", proc, now, i, a[i], b[i])
+				}
+			}
 		}
 	}
 }
