@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-hot alloc-check snapshot-check test race race-kernel race-obs race-faults cover shape bench bench-kernel bench-obs bench-compare bench-smoke experiments paper synth examples clean
+.PHONY: all build vet lint lint-hot alloc-check snapshot-check test race race-kernel race-obs race-faults race-txn cover shape bench bench-kernel bench-obs bench-compare bench-smoke experiments paper synth examples clean
 
 all: build vet lint test
 
@@ -69,6 +69,14 @@ race-obs:
 race-faults:
 	$(GO) test -race ./internal/faults/ ./internal/routing/
 	$(GO) test -race ./internal/network/ -run 'TestHardLinkFailure|TestTransientFault|TestScheduledStall|TestWorkersBitIdentical'
+
+# The transaction layer under the race detector: the serial engine
+# tick and ejection-side admission gates against the sharded kernel,
+# the protocol-deadlock wall, and the transaction-loaded bit-identical
+# workers and snapshot contracts.
+race-txn:
+	$(GO) test -race ./internal/txn/ ./internal/network/ -run 'TestTxn|TestWorkersBitIdentical'
+	$(GO) test -race . -run 'TestSnapshotResumeBitIdentical|FuzzParseTxn'
 
 # Coverage floor for the simulator proper (commands and examples are
 # thin shells and excluded). CI fails if total statement coverage

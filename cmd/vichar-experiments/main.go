@@ -45,11 +45,15 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		observe    = flag.Bool("observe", false, "run one instrumented simulation and print the metrics-registry report instead of an experiment")
 		resilience = flag.Bool("resilience", false, "run the fault-resilience sweep (shorthand for -id ext-resilience)")
+		txns       = flag.Bool("transactions", false, "run the NIU transaction-layer sweep (shorthand for -id ext-transactions)")
 	)
 	flag.Parse()
 
 	if *resilience {
 		*id = "ext-resilience"
+	}
+	if *txns {
+		*id = "ext-transactions"
 	}
 
 	if *list {
@@ -162,6 +166,20 @@ func writeArtifact(dir, name, content string, quiet bool) {
 // 13(e)'s spatial node grid and 13(f)'s temporal series.
 func printSpecial(out *experiments.Outcome) {
 	switch out.Experiment.ID {
+	case "ext-transactions":
+		fmt.Println("Transaction latency mean / p99 (cycles):")
+		for _, s := range out.Series {
+			fmt.Printf("%-10s", s.Name)
+			for _, p := range s.Points {
+				t := p.Results.Txn
+				if t == nil {
+					fmt.Printf("  %14s", "-")
+					continue
+				}
+				fmt.Printf("  %6.1f/%-7.1f", t.AvgLatency, t.P99Latency)
+			}
+			fmt.Println()
+		}
 	case "fig13e":
 		res := out.Series[0].Points[0].Results
 		fmt.Println("Per-node average # of in-use VCs (8 columns = X coordinate):")

@@ -51,6 +51,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "cycle-kernel worker goroutines; 0/1 = serial, results identical at any setting")
 		faultSpec = flag.String("faults", "",
 			"fault model spec: seed=N,drop=R,corrupt=R,retx=N,stall=R[:N],kill=NODE.PORT@CYC,freeze=NODE.PORT@CYC+N,drop1=NODE.PORT@CYC")
+		txnSpec = flag.String("txn", "",
+			"transaction layer spec: rate=R,window=N,mix=READ/WRITE/ATOMIC,posted=F,service=N,queue=N,edge=B,reqs=N,shared=B,seed=N")
 		auditOn = flag.Bool("audit", false, "run the per-cycle invariant auditor (slow; catches conservation bugs)")
 
 		ckptEvery = flag.Int64("checkpoint-every", 0, "write a checkpoint every N cycles (requires -checkpoint-file)")
@@ -129,6 +131,13 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Faults = faults
+	}
+	if *txnSpec != "" {
+		txn, err := vichar.ParseTxn(*txnSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Txn = txn
 	}
 	if *auditOn {
 		cfg.Audit = true
@@ -281,6 +290,11 @@ func main() {
 	fmt.Printf("network power : %.3f W\n", res.AvgPowerWatts)
 	fmt.Printf("packets       : %d measured / %d ejected over %d cycles\n",
 		res.MeasuredPackets, res.EjectedPackets, res.TotalCycles)
+	if res.Txn != nil {
+		fmt.Printf("transactions  : %d issued / %d retired, latency %.2f avg / p50 %.1f / p95 %.1f / p99 %.1f / max %d cycles\n",
+			res.Txn.Issued, res.Txn.Retired,
+			res.Txn.AvgLatency, res.Txn.P50Latency, res.Txn.P95Latency, res.Txn.P99Latency, res.Txn.MaxLatency)
+	}
 	if cfg.Faults.Enabled() {
 		fmt.Printf("faults        : %d drops, %d corrupts, %d retransmits, %d stall cycles, %d escape reroutes\n",
 			res.Counters.FlitDrops, res.Counters.FlitCorrupts, res.Counters.Retransmits,

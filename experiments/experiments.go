@@ -33,6 +33,12 @@ const (
 	Power
 	// VCs plots Results.AvgInUseVCs (per port).
 	VCs
+	// TxnLatency plots Results.Txn.AvgLatency, the mean end-to-end
+	// transaction latency (request creation to retirement, cycles).
+	TxnLatency
+	// TxnP99 plots Results.Txn.P99Latency, the transaction latency
+	// tail (cycles).
+	TxnP99
 )
 
 // String returns the axis label of the metric.
@@ -48,6 +54,10 @@ func (m Metric) String() string {
 		return "Avg. Power Cons. (W)"
 	case VCs:
 		return "Avg. # of In-Use VCs"
+	case TxnLatency:
+		return "Txn Latency (cycles)"
+	case TxnP99:
+		return "Txn p99 Latency (cycles)"
 	default:
 		return fmt.Sprintf("Metric(%d)", int(m))
 	}
@@ -66,6 +76,16 @@ func (m Metric) Value(r *vichar.Results) float64 {
 		return r.AvgPowerWatts
 	case VCs:
 		return r.AvgInUseVCs
+	case TxnLatency:
+		if r.Txn == nil {
+			return 0
+		}
+		return r.Txn.AvgLatency
+	case TxnP99:
+		if r.Txn == nil {
+			return 0
+		}
+		return r.Txn.P99Latency
 	default:
 		return 0
 	}

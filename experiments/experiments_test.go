@@ -400,8 +400,8 @@ func TestExtrasWellFormed(t *testing.T) {
 			t.Errorf("extra %q not reachable via ByID", e.ID)
 		}
 	}
-	if len(Extras()) != 4 {
-		t.Errorf("expected 4 extras, got %d", len(Extras()))
+	if len(Extras()) != 5 {
+		t.Errorf("expected 5 extras, got %d", len(Extras()))
 	}
 }
 

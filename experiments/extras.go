@@ -4,10 +4,10 @@ import "vichar"
 
 // Extras returns experiments beyond the paper's own artifacts: the
 // extension features this library adds (speculative pipeline, hotspot
-// traffic, variable-size packets, fault resilience) evaluated with
-// the same harness.
+// traffic, variable-size packets, fault resilience, NIU transactions)
+// evaluated with the same harness.
 func Extras() []*Experiment {
-	return []*Experiment{ExtSpeculative(), ExtHotspot(), ExtVariablePackets(), ExtResilience()}
+	return []*Experiment{ExtSpeculative(), ExtHotspot(), ExtVariablePackets(), ExtResilience(), ExtTransactions()}
 }
 
 // ExtSpeculative compares the baseline 4-stage router against the

@@ -1,0 +1,51 @@
+package experiments
+
+import "vichar"
+
+// ExtTransactions evaluates the network-interface transaction layer
+// on all four buffer architectures: mean end-to-end transaction
+// latency (request creation to retirement) as the per-node request
+// rate sweeps toward the memory controllers' service limit. The
+// workload is the DRAM-edge pattern — memory controllers on the left
+// and right mesh columns, interior tiles issuing a 70/25/5
+// read/write/atomic mix with half the writes posted — so request and
+// response traffic contend for the same east/west channels and the
+// class-separated VC partition is actually load-bearing. The p99 tail
+// of every point travels in Results.Txn alongside the plotted mean.
+func ExtTransactions() *Experiment {
+	e := &Experiment{
+		ID:     "ext-transactions",
+		Title:  "Transactions: End-to-End Latency under Memory-Edge Traffic",
+		XLabel: "Request Rate (requests/node/cycle)",
+		Metric: TxnLatency,
+	}
+	rates := []float64{0.01, 0.02, 0.03, 0.04, 0.06}
+	for _, v := range []struct {
+		series string
+		arch   vichar.BufferArch
+	}{
+		{"GEN-16", vichar.Generic},
+		{"ViC-16", vichar.ViChaR},
+		{"DAMQ-16", vichar.DAMQ},
+		{"FC-CB-16", vichar.FCCB},
+	} {
+		for _, rr := range rates {
+			cfg := baseConfig(v.arch, 16)
+			// The transaction layer is the sole traffic source; the
+			// background Bernoulli injector is off.
+			cfg.InjectionRate = 0
+			cfg.Seed = seedFor(v.series, rr)
+			cfg.Txn = vichar.Txn{
+				Enabled:    true,
+				Rate:       rr,
+				ReadFrac:   0.70,
+				WriteFrac:  0.25,
+				AtomicFrac: 0.05,
+				PostedFrac: 0.5,
+				MemEdge:    true,
+			}
+			e.Runs = append(e.Runs, Run{Series: v.series, X: rr, Config: cfg})
+		}
+	}
+	return e
+}

@@ -9,6 +9,50 @@ import (
 	"vichar"
 )
 
+// FuzzParseTxn throws arbitrary strings at the -txn transaction-
+// workload grammar: malformed input must come back as an error, never
+// a panic, and any accepted spec must survive config validation and
+// round-trip the enabled/disabled contract ("", "off" and "none"
+// disable; any parsed clause enables).
+func FuzzParseTxn(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("none")
+	f.Add("rate=0.1")
+	f.Add("rate=0.05,window=8,mix=7/2.5/0.5,posted=0.5,service=8,queue=4,edge=true,reqs=100,shared=false,seed=42")
+	f.Add("mix=1/0/0,edge=1")
+	f.Add("rate=,window=")
+	f.Add("mix=1/2")
+	f.Add("mix=a/b/c")
+	f.Add("rate=1e309")
+	f.Add("queue=-3,shared=maybe")
+	f.Add("unknown=1")
+	f.Add("rate=0.1,,")
+	f.Add("=,=,=")
+	f.Fuzz(func(t *testing.T, s string) {
+		txn, err := vichar.ParseTxn(s)
+		if err != nil {
+			return
+		}
+		// Mirror the grammar's normalization: spaces and tabs are
+		// stripped anywhere, case is folded.
+		norm := strings.ToLower(strings.NewReplacer(" ", "", "\t", "").Replace(s))
+		switch norm {
+		case "", "off", "none":
+			if txn.Enabled {
+				t.Fatalf("ParseTxn(%q) = enabled, want disabled", s)
+			}
+		default:
+			if !txn.Enabled {
+				t.Fatalf("ParseTxn(%q) accepted clauses but left the layer disabled", s)
+			}
+		}
+		cfg := vichar.DefaultConfig()
+		cfg.Txn = txn
+		_ = cfg.Validate()
+	})
+}
+
 // FuzzParse throws arbitrary strings at every text-parsing entry
 // point of the public API: the enum parsers, the -faults grammar and
 // the JSON config loader. Beyond not panicking, accepted inputs must
@@ -48,6 +92,14 @@ func FuzzParse(f *testing.F) {
 			cfg := vichar.DefaultConfig()
 			cfg.Routing = vichar.MinimalAdaptive
 			cfg.Faults = faults
+			_ = cfg.Validate()
+		}
+		if txn, err := vichar.ParseTxn(s); err == nil {
+			// A parsed transaction spec plugs into a config and validates
+			// without panicking; rejection (bad rate, negative depths) is
+			// fine.
+			cfg := vichar.DefaultConfig()
+			cfg.Txn = txn
 			_ = cfg.Validate()
 		}
 		if cfg, err := vichar.LoadConfig(strings.NewReader(s)); err == nil {

@@ -64,6 +64,36 @@ func TestGoldenResults(t *testing.T) {
 		cfg  vichar.Config
 	}{"vichar-faults", faulty})
 
+	// One transaction-layer run per architecture: the NIU request/
+	// response protocol, class-separated VC partition and memory-edge
+	// responders all feed the fixture, including the Results.Txn
+	// latency block.
+	for _, arch := range []struct {
+		name string
+		arch vichar.BufferArch
+	}{
+		{"txn-generic", vichar.Generic},
+		{"txn-vichar", vichar.ViChaR},
+		{"txn-damq", vichar.DAMQ},
+		{"txn-fccb", vichar.FCCB},
+	} {
+		cfg := goldenConfig(arch.arch)
+		cfg.InjectionRate = 0
+		cfg.Txn = vichar.Txn{
+			Enabled:    true,
+			Rate:       0.04,
+			ReadFrac:   0.7,
+			WriteFrac:  0.25,
+			AtomicFrac: 0.05,
+			PostedFrac: 0.5,
+			MemEdge:    true,
+		}
+		cases = append(cases, struct {
+			name string
+			cfg  vichar.Config
+		}{arch.name, cfg})
+	}
+
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {

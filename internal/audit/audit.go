@@ -155,3 +155,17 @@ func CheckLinks(states []LinkState) error {
 	}
 	return nil
 }
+
+// CheckVCClass verifies the transaction layer's VC-class separation
+// contract at one virtual channel: a packet may only occupy a VC
+// whose ID falls inside the packet's own class chunk (where names the
+// side being checked, "input" or "output"). A mismatch means a
+// response packet could queue behind — or be blocked by — request
+// traffic, which would void the protocol-deadlock-freedom argument.
+func CheckVCClass(where string, router, port, vc, vcClass, pktClass int) error {
+	if vcClass == pktClass {
+		return nil
+	}
+	return fmt.Errorf("audit: router %d %s port %d: vc %d belongs to class %d but carries a class-%d packet",
+		router, where, port, vc, vcClass, pktClass)
+}

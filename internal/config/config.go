@@ -279,6 +279,13 @@ type Config struct {
 	// bit-identical at every Workers setting.
 	Faults FaultsConfig
 
+	// Txn enables the network-interface transaction layer
+	// (internal/txn): request/response protocol traffic with per-node
+	// outstanding-request windows, finite memory-controller service
+	// queues, and message classes mapped onto disjoint virtual-channel
+	// classes. The zero value disables it; see TxnConfig.
+	Txn TxnConfig
+
 	// SampleEvery is the stats sampling period, in cycles, for the
 	// time-series metrics (buffer occupancy, in-use VC counts).
 	SampleEvery int64
@@ -454,7 +461,10 @@ func (c *Config) Validate() error {
 	if c.Arch == DAMQ && c.DAMQDelay < 0 {
 		return fmt.Errorf("config: DAMQ delay cannot be negative, got %d", c.DAMQDelay)
 	}
-	return c.Faults.validate(c)
+	if err := c.Faults.validate(c); err != nil {
+		return err
+	}
+	return c.Txn.validate(c)
 }
 
 // Label returns a compact identifier such as "ViC-16" or "GEN-16"

@@ -108,6 +108,40 @@ func (d *Dispenser) Grant(escape bool) (vc int, ok bool) {
 	return i, true
 }
 
+// GrantIn dispenses the lowest free token whose global VC ID falls in
+// [lo, hi) of the chosen set — the class-partitioned grant the
+// transaction layer uses so the regulator dispenses within a VC
+// class. GrantIn over a set's full ID range is identical to Grant.
+func (d *Dispenser) GrantIn(escape bool, lo, hi int) (vc int, ok bool) {
+	if escape {
+		if !d.hasEscape {
+			return -1, false
+		}
+		i := d.escape.AcquireRange(lo-d.escBase, hi-d.escBase)
+		if i < 0 {
+			return -1, false
+		}
+		return d.escBase + i, true
+	}
+	i := d.normal.AcquireRange(lo, hi)
+	if i < 0 {
+		return -1, false
+	}
+	return i, true
+}
+
+// FreeIn returns the number of available tokens whose global VC IDs
+// fall in [lo, hi) of the chosen set.
+func (d *Dispenser) FreeIn(escape bool, lo, hi int) int {
+	if escape {
+		if !d.hasEscape {
+			return 0
+		}
+		return d.escape.FreeInRange(lo-d.escBase, hi-d.escBase)
+	}
+	return d.normal.FreeInRange(lo, hi)
+}
+
 // IsEscape reports whether the VC ID belongs to the escape set.
 func (d *Dispenser) IsEscape(vc int) bool {
 	return d.hasEscape && vc >= d.escBase

@@ -78,6 +78,64 @@ func (t *Tracker) Acquire() int {
 	panic("core: tracker free count out of sync with bitmap")
 }
 
+// rangeWord masks word w of the bitmap down to the bits covering
+// entries [lo, hi).
+func (t *Tracker) rangeWord(w, lo, hi int) uint64 {
+	m := t.words[w]
+	if w == lo>>6 {
+		m &= ^uint64(0) << (uint(lo) & 63)
+	}
+	if w == (hi-1)>>6 {
+		if r := uint(hi) & 63; r != 0 {
+			m &= 1<<r - 1
+		}
+	}
+	return m
+}
+
+// AcquireRange claims and returns the top-most available entry within
+// [lo, hi), or -1 when that span is fully occupied. AcquireRange over
+// the whole tracker grants exactly what Acquire would — the span is a
+// restriction, not a different policy.
+func (t *Tracker) AcquireRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi {
+		return -1
+	}
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		if m := t.rangeWord(w, lo, hi); m != 0 {
+			b := bits.TrailingZeros64(m)
+			t.words[w] &^= 1 << uint(b)
+			t.free--
+			return w<<6 + b
+		}
+	}
+	return -1
+}
+
+// FreeInRange returns the number of available entries within [lo, hi).
+func (t *Tracker) FreeInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	n := 0
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		n += bits.OnesCount64(t.rangeWord(w, lo, hi))
+	}
+	return n
+}
+
 // Release marks entry i available again. Releasing a free entry is a
 // bookkeeping bug and panics.
 func (t *Tracker) Release(i int) {

@@ -78,6 +78,17 @@ type Packet struct {
 	// re-channelled onto an escape virtual channel after a deadlock
 	// timeout; from then on it routes deterministically.
 	Escaped bool
+	// Class is the packet's virtual-channel class. Fire-and-forget
+	// traffic always carries class 0; the transaction layer maps
+	// request messages to class 0 and response messages to class 1 so
+	// the VC allocators keep the two on disjoint channel partitions.
+	Class uint8
+	// Kind is the transaction-layer message kind (txn package
+	// constants); 0 for plain fire-and-forget packets.
+	Kind uint8
+	// Req is the packet ID of the request this packet responds to
+	// (response kinds only; 0 otherwise).
+	Req uint64
 }
 
 // Latency returns the packet's network latency in cycles: creation (at

@@ -39,6 +39,7 @@ var deterministicPkgs = map[string]bool{
 	"routing": true,
 	"metrics": true,
 	"faults":  true,
+	"txn":     true,
 }
 
 // Diagnostic is one rule violation. Pkg and Func key the finding for

@@ -72,13 +72,22 @@ func TestWorkersBitIdentical(t *testing.T) {
 	if parallel < 4 {
 		parallel = 4
 	}
+	modes := []struct {
+		suffix string
+		faulty bool
+		txn    bool
+	}{
+		{"", false, false},
+		{"-faults", true, false},
+		// NIU transaction layer on top of faulty links: the serial
+		// engine tick, ejection-side admission gates and per-class NI
+		// streams must shard as cleanly as the rest.
+		{"-txn", true, true},
+	}
 	for _, arch := range allArchs {
-		for _, faulty := range []bool{false, true} {
-			arch, faulty := arch, faulty
-			name := arch.String()
-			if faulty {
-				name += "-faults"
-			}
+		for _, mode := range modes {
+			arch, faulty, txnOn := arch, mode.faulty, mode.txn
+			name := arch.String() + mode.suffix
 			t.Run(name, func(t *testing.T) {
 				run := func(workers int) (stats.Results, []int64, metrics.Snapshot, []metrics.Event) {
 					cfg := config.Default()
@@ -106,6 +115,17 @@ func TestWorkersBitIdentical(t *testing.T) {
 								{Cycle: 40, Kind: config.DropFlit, Node: 5, Port: 1},
 								{Cycle: 60, Kind: config.StallPort, Node: 10, Port: 0, Cycles: 9},
 							},
+						}
+					}
+					if txnOn {
+						cfg.Txn = config.TxnConfig{
+							Enabled:    true,
+							Rate:       0.05,
+							ReadFrac:   0.7,
+							WriteFrac:  0.25,
+							AtomicFrac: 0.05,
+							PostedFrac: 0.5,
+							MemEdge:    true,
 						}
 					}
 					n := New(&cfg)

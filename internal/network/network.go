@@ -35,6 +35,7 @@ import (
 	"vichar/internal/topology"
 	"vichar/internal/trace"
 	"vichar/internal/traffic"
+	"vichar/internal/txn"
 )
 
 // timedFlit is a flit in flight on a link.
@@ -244,21 +245,39 @@ type auditedLink struct {
 // flit count parked in its retransmission buffer.
 func (al *auditedLink) retxHeld() int { return al.fl.faults.Held() }
 
-// ni is one network interface: the packet source queue feeding the
-// router's local input port. It mirrors the local input port's buffer
-// state through a credit view, allocates a VC per packet and injects
-// one flit per cycle when credits allow.
-type ni struct {
-	node int
-	view router.CreditView
-	link *flitLink
-
+// niStream is one injection stream of a network interface: the packet
+// queue and in-flight flit cursor of a single VC class. Fire-and-
+// forget runs have exactly one stream; the transaction layer gives
+// each VC class its own so a queued response can never wait behind a
+// request (or background packet) that cannot obtain a VC.
+type niStream struct {
 	queue []*flit.Packet
 	qhead int
 
 	cur []*flit.Flit
 	idx int
 	vc  int
+}
+
+func (st *niStream) queued() int { return len(st.queue) - st.qhead }
+
+// ni is one network interface: the per-class packet source queues
+// feeding the router's local input port. It mirrors the local input
+// port's buffer state through a credit view, allocates a VC per
+// packet within the packet's class and injects one flit per cycle
+// when credits allow.
+type ni struct {
+	node    int
+	view    router.CreditView
+	link    *flitLink
+	streams []niStream
+	rr      int // round-robin pointer over streams for the one-flit-per-cycle send
+
+	// txn, when the transaction layer is on, receives the fully-
+	// injected notification that releases a responder's egress slot.
+	// ni.tick runs in the node's compute shard and the hook touches
+	// only this node's responder state, so the call is race-free.
+	txn *txn.Engine
 
 	// probe mirrors injection activity into the live metrics
 	// registry; nil (no-op) without an observability layer.
@@ -267,51 +286,96 @@ type ni struct {
 
 func (s *ni) enqueue(p *flit.Packet) {
 	//vichar:alloc one append per generated packet, amortized by tick's queue compaction — not per-cycle churn
-	s.queue = append(s.queue, p)
+	s.streams[p.Class].queue = append(s.streams[p.Class].queue, p)
 }
 
-func (s *ni) queued() int { return len(s.queue) - s.qhead }
+func (s *ni) queued() int {
+	n := 0
+	for i := range s.streams {
+		n += s.streams[i].queued()
+	}
+	return n
+}
 
-// idle reports whether a tick would be a no-op: no packet mid-flight
-// and nothing queued. The compute worklist only lets a node sleep
-// when its NI is idle; a stalled injection (cur != nil waiting for
-// credit) keeps the node active until the credit arrives.
-func (s *ni) idle() bool { return s.cur == nil && s.queued() == 0 }
+// idle reports whether a tick would be a no-op: no stream holds a
+// packet mid-flight or queued. The compute worklist only lets a node
+// sleep when its NI is idle; a stalled injection (cur != nil waiting
+// for credit) keeps the node active until the credit arrives.
+func (s *ni) idle() bool {
+	for i := range s.streams {
+		if s.streams[i].cur != nil || s.streams[i].queued() > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 func (s *ni) tick(now int64) {
-	if s.cur == nil && s.queued() > 0 {
-		if vc, ok := s.view.AllocVC(false); ok {
-			p := s.queue[s.qhead]
-			s.queue[s.qhead] = nil
-			s.qhead++
-			if s.qhead > len(s.queue)/2 && s.qhead > 16 {
-				n := copy(s.queue, s.queue[s.qhead:])
-				s.queue = s.queue[:n]
-				s.qhead = 0
+	// Start phase: every stream with a queued packet and no packet in
+	// flight tries to allocate a VC within its own class.
+	for c := range s.streams {
+		st := &s.streams[c]
+		if st.cur != nil || st.queued() == 0 {
+			continue
+		}
+		if vc, ok := s.view.AllocVCIn(c, false); ok {
+			p := st.queue[st.qhead]
+			st.queue[st.qhead] = nil
+			st.qhead++
+			if st.qhead > len(st.queue)/2 && st.qhead > 16 {
+				n := copy(st.queue, st.queue[st.qhead:])
+				st.queue = st.queue[:n]
+				st.qhead = 0
 			}
 			p.InjectedAt = now
 			//vichar:alloc packet materialization allocates its flits once at injection, amortized over the packet's network lifetime
-			s.cur = flit.MakeFlits(p)
-			s.idx = 0
-			s.vc = vc
+			st.cur = flit.MakeFlits(p)
+			st.idx = 0
+			st.vc = vc
 		}
 	}
-	if s.cur != nil {
-		if !s.view.CanSendFlit(s.vc) {
-			s.probe.CreditStall()
-			return
+	// Send phase: the injection channel carries one flit per cycle;
+	// streams with credit take turns round-robin. With one stream this
+	// reduces exactly to the classic NI.
+	n := len(s.streams)
+	blocked := false
+	for i := 0; i < n; i++ {
+		c := s.rr + i
+		if c >= n {
+			c -= n
 		}
-		f := s.cur[s.idx]
-		f.VC = s.vc
+		st := &s.streams[c]
+		if st.cur == nil {
+			continue
+		}
+		if !s.view.CanSendFlit(st.vc) {
+			blocked = true
+			continue
+		}
+		f := st.cur[st.idx]
+		f.VC = st.vc
 		s.view.OnSend(f)
 		s.link.SendFlit(f, now)
 		if s.probe != nil {
-			s.probe.Inject(now, f.Pkt.ID, f.Seq, s.vc)
+			s.probe.Inject(now, f.Pkt.ID, f.Seq, st.vc)
 		}
-		s.idx++
-		if s.idx == len(s.cur) {
-			s.cur = nil
+		st.idx++
+		if st.idx == len(st.cur) {
+			if s.txn != nil {
+				s.txn.OnInjected(s.node, f.Pkt)
+			}
+			st.cur = nil
 		}
+		if n > 1 {
+			s.rr = c + 1
+			if s.rr == n {
+				s.rr = 0
+			}
+		}
+		return
+	}
+	if blocked {
+		s.probe.CreditStall()
 	}
 }
 
@@ -406,6 +470,11 @@ type Network struct {
 
 	gen       *traffic.Generator
 	collector *stats.Collector
+
+	// txn is the network-interface transaction layer (nil without
+	// Config.Txn); every hook on the hot path hides behind this one
+	// pointer check so fire-and-forget runs stay byte-identical.
+	txn *txn.Engine
 
 	now    int64
 	nextID uint64
@@ -655,22 +724,41 @@ func New(cfg *config.Config) *Network {
 		}
 	}
 
+	// The transaction layer, when on, is built before the local ports
+	// so each responder node's admission gate can be wired into its
+	// ejection sink view.
+	if cfg.Txn.Enabled {
+		n.txn = txn.New(cfg, mesh, n)
+	}
+
 	// Local ports: ejection to the sink and injection from the NI.
 	for id, r := range n.routers {
 		// Ejection: router local output -> processing element. The
 		// sink mutates network-global state (collector, sequence
 		// check, snapshots), so delivery only stages the flit; the
 		// serial commit sub-phase of Step ejects staged flits in
-		// ascending node order.
+		// ascending node order. A responder node's finite service
+		// queue gates its sink's ejection grants.
 		ej := takeFlitLink(flitLink{
 			delay: router.FlitDelay, owner: id, wake: &n.wakes[id],
 			eject: &n.pendingEject[id],
 		})
 		n.plan[id].flits = append(n.plan[id].flits, ej)
-		r.ConnectOutput(topology.Local, ej, router.NewSinkView())
+		sink := router.NewSinkView()
+		if n.txn != nil {
+			if mc := n.txn.Responder(id); mc != nil {
+				sink = router.NewSinkViewWith(mc)
+			}
+		}
+		r.ConnectOutput(topology.Local, ej, sink)
 
 		// Injection: NI -> router local input (one-cycle channel).
-		s := &ni{node: id, view: router.NewCreditViewIn(n.arena, cfg)}
+		s := &ni{
+			node:    id,
+			view:    router.NewCreditViewIn(n.arena, cfg),
+			streams: make([]niStream, cfg.VCClasses()),
+			txn:     n.txn,
+		}
 		if n.obs != nil {
 			s.probe = metrics.NewNIProbe(n.obs.recs[1+id], id)
 		}
@@ -731,6 +819,14 @@ func (n *Network) InjectPacket(src, dst int) *flit.Packet {
 // InjectPacketSized creates a packet with an explicit flit count
 // (variable-size packet protocol).
 func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
+	return n.SendTxnPacket(src, dst, size, 0, 0, 0)
+}
+
+// SendTxnPacket implements txn.Sender: it creates a packet carrying a
+// transaction-layer kind, VC class and request reference, and
+// enqueues it on the source interface's stream for that class. Plain
+// fire-and-forget injection is the zero-kind, zero-class case.
+func (n *Network) SendTxnPacket(src, dst, size int, kind, class uint8, req uint64) *flit.Packet {
 	n.nextID++
 	//vichar:alloc one packet object per generated packet — the protocol unit, not per-cycle churn
 	p := &flit.Packet{
@@ -740,6 +836,9 @@ func (n *Network) InjectPacketSized(src, dst, size int) *flit.Packet {
 		Size:      size,
 		CreatedAt: n.now,
 		SeqNo:     n.nextID,
+		Class:     class,
+		Kind:      kind,
+		Req:       req,
 	}
 	n.created++
 	n.nis[src].enqueue(p)
@@ -830,6 +929,11 @@ func (n *Network) eject(f *flit.Flit, now int64) {
 		n.linkEndSnap = append([]uint64(nil), n.linkFlits...)
 		n.haveEnd = true
 	}
+	if n.txn != nil {
+		// Serial commit sub-phase: requests enter their responder's
+		// service queue, responses retire their transaction.
+		n.txn.OnEject(p, now, was)
+	}
 }
 
 // dstOf exists to keep the ejection assertion honest without carrying
@@ -894,6 +998,12 @@ func (n *Network) Step() {
 		e := n.schedule[n.scheduleIdx]
 		n.scheduleIdx++
 		n.InjectPacketSized(e.Src, e.Dst, e.Size)
+	}
+	if n.txn != nil {
+		// Serial like the generator: responder completions inject
+		// responses and requesters draw new requests, both in
+		// ascending node order off per-node streams.
+		n.txn.Tick(now)
 	}
 	n.runSharded(n.computeFn)
 	// Merge the per-writer wake buffers: sends that made an empty link
@@ -1168,6 +1278,9 @@ func (n *Network) RunWith(hook func(now int64) error) (stats.Results, error) {
 	res.ChannelLoads, res.MaxChannelLoad = n.channelLoads(res.MeasureCycles)
 	res.Label = n.cfg.Label()
 	res.InjectionRate = n.cfg.InjectionRate
+	if n.txn != nil {
+		res.Txn = stats.FinalizeTxn(n.txn.Samples(), n.txn.Issued(), n.txn.Retired())
+	}
 	return res, nil
 }
 
@@ -1199,7 +1312,8 @@ func (n *Network) channelLoads(cycles int64) ([]stats.ChannelLoad, float64) {
 func (n *Network) Drain(maxCycles int64) int64 {
 	deadline := n.now + maxCycles
 	for n.now < deadline {
-		if n.collector.Ejected() >= n.created && n.TracePending() == 0 {
+		if n.collector.Ejected() >= n.created && n.TracePending() == 0 &&
+			(n.txn == nil || n.txn.Quiescent()) {
 			break
 		}
 		n.Step()
@@ -1210,6 +1324,10 @@ func (n *Network) Drain(maxCycles int64) int64 {
 
 // Collector exposes the stats collector (tests and custom protocols).
 func (n *Network) Collector() *stats.Collector { return n.collector }
+
+// Txn exposes the transaction-layer engine, or nil when Config.Txn is
+// off (tests and custom protocols).
+func (n *Network) Txn() *txn.Engine { return n.txn }
 
 // WorklistStats tallies active-router worklist effectiveness: how many
 // per-router compute and deliver entries each Step ran versus skipped.

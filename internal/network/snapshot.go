@@ -85,11 +85,14 @@ func (n *Network) collectPackets() []*flit.Packet {
 		out = append(out, p)
 	}
 	for _, s := range n.nis {
-		for i := s.qhead; i < len(s.queue); i++ {
-			add(s.queue[i])
-		}
-		if s.cur != nil {
-			add(s.cur[0].Pkt)
+		for si := range s.streams {
+			st := &s.streams[si]
+			for i := st.qhead; i < len(st.queue); i++ {
+				add(st.queue[i])
+			}
+			if st.cur != nil {
+				add(st.cur[0].Pkt)
+			}
 		}
 	}
 	for id := range n.plan {
@@ -127,6 +130,9 @@ func savePacket(w *snap.Writer, p *flit.Packet) {
 	w.I64(p.EjectedAt)
 	w.U64(p.SeqNo)
 	w.Bool(p.Escaped)
+	w.U8(p.Class)
+	w.U8(p.Kind)
+	w.U64(p.Req)
 }
 
 // loadPacket reads one packet record.
@@ -141,6 +147,9 @@ func loadPacket(r *snap.Reader) *flit.Packet {
 		EjectedAt:  r.I64(),
 		SeqNo:      r.U64(),
 		Escaped:    r.Bool(),
+		Class:      r.U8(),
+		Kind:       r.U8(),
+		Req:        r.U64(),
 	}
 }
 
@@ -214,20 +223,25 @@ func (n *Network) loadCreditLink(r *snap.Reader, l *creditLink) error {
 	return r.Err()
 }
 
-// saveNI writes one network interface's source queue, mid-injection
-// cursor and credit view.
+// saveNI writes one network interface's per-class source queues,
+// mid-injection cursors, round-robin pointer and credit view.
 func saveNI(w *snap.Writer, s *ni) {
 	w.Section("ni")
-	w.Int(s.queued())
-	for i := s.qhead; i < len(s.queue); i++ {
-		w.Packet(s.queue[i])
+	w.Int(len(s.streams))
+	for si := range s.streams {
+		st := &s.streams[si]
+		w.Int(st.queued())
+		for i := st.qhead; i < len(st.queue); i++ {
+			w.Packet(st.queue[i])
+		}
+		w.Bool(st.cur != nil)
+		if st.cur != nil {
+			w.U64(st.cur[0].Pkt.ID)
+			w.Int(st.idx)
+			w.Int(st.vc)
+		}
 	}
-	w.Bool(s.cur != nil)
-	if s.cur != nil {
-		w.U64(s.cur[0].Pkt.ID)
-		w.Int(s.idx)
-		w.Int(s.vc)
-	}
+	w.Int(s.rr)
 	router.SaveView(w, s.view)
 }
 
@@ -236,43 +250,59 @@ func loadNI(r *snap.Reader, s *ni, t *pktTable) error {
 	if err := r.Section("ni"); err != nil {
 		return err
 	}
-	cnt := r.Int()
-	if err := r.Err(); err != nil {
-		return err
-	}
-	if cnt < 0 {
-		return fmt.Errorf("network: negative NI queue length %d in snapshot", cnt)
-	}
-	s.queue = s.queue[:0]
-	s.qhead = 0
-	for i := 0; i < cnt; i++ {
-		p, err := r.Packet(t.packet)
-		if err != nil {
-			return err
+	if cnt := r.Int(); cnt != len(s.streams) {
+		if r.Err() != nil {
+			return r.Err()
 		}
-		if p == nil {
-			return fmt.Errorf("network: nil packet reference in an NI queue")
-		}
-		s.queue = append(s.queue, p)
+		return fmt.Errorf("network: snapshot NI has %d streams, configuration has %d", cnt, len(s.streams))
 	}
-	s.cur = nil
-	if r.Bool() {
-		id := r.U64()
-		idx := r.Int()
-		vc := r.Int()
+	for si := range s.streams {
+		st := &s.streams[si]
+		cnt := r.Int()
 		if err := r.Err(); err != nil {
 			return err
 		}
-		cur, err := t.flitsOf(id)
-		if err != nil {
-			return err
+		if cnt < 0 {
+			return fmt.Errorf("network: negative NI queue length %d in snapshot", cnt)
 		}
-		if idx < 0 || idx >= len(cur) {
-			return fmt.Errorf("network: NI injection cursor %d outside packet %d (%d flits)", idx, id, len(cur))
+		st.queue = st.queue[:0]
+		st.qhead = 0
+		for i := 0; i < cnt; i++ {
+			p, err := r.Packet(t.packet)
+			if err != nil {
+				return err
+			}
+			if p == nil {
+				return fmt.Errorf("network: nil packet reference in an NI queue")
+			}
+			st.queue = append(st.queue, p)
 		}
-		s.cur = cur
-		s.idx = idx
-		s.vc = vc
+		st.cur = nil
+		if r.Bool() {
+			id := r.U64()
+			idx := r.Int()
+			vc := r.Int()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			cur, err := t.flitsOf(id)
+			if err != nil {
+				return err
+			}
+			if idx < 0 || idx >= len(cur) {
+				return fmt.Errorf("network: NI injection cursor %d outside packet %d (%d flits)", idx, id, len(cur))
+			}
+			st.cur = cur
+			st.idx = idx
+			st.vc = vc
+		}
+	}
+	s.rr = r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if s.rr < 0 || s.rr >= len(s.streams) {
+		return fmt.Errorf("network: NI round-robin pointer %d outside %d streams", s.rr, len(s.streams))
 	}
 	return router.LoadView(r, s.view)
 }
@@ -493,6 +523,9 @@ func (n *Network) SaveState(w *snap.Writer) error {
 	n.saveTraceState(w)
 	n.collector.SaveState(w)
 	n.gen.SaveState(w)
+	if n.txn != nil {
+		n.txn.SaveState(w)
+	}
 	n.saveObs(w)
 	return nil
 }
@@ -633,6 +666,11 @@ func (n *Network) LoadState(r *snap.Reader) error {
 	}
 	if err := n.gen.LoadState(r); err != nil {
 		return err
+	}
+	if n.txn != nil {
+		if err := n.txn.LoadState(r); err != nil {
+			return err
+		}
 	}
 	if err := n.loadObs(r); err != nil {
 		return err

@@ -1,0 +1,93 @@
+package network
+
+import (
+	"testing"
+
+	"vichar/internal/config"
+)
+
+// txnWallConfig builds the protocol-deadlock wall workload: a
+// saturating read-heavy memory-edge pattern on a 4x4 mesh with two
+// virtual channels per port. Memory controllers sit on the left and
+// right columns behind a shallow service queue, the eight interior
+// tiles fire read requests at half a request per cycle against a deep
+// outstanding window, and each requester is capped so the workload is
+// drainable — a finished run retires every transaction. Eastbound
+// read responses from the left controllers share channels with
+// eastbound requests piling into the full right controllers (and
+// mirrored westbound), so whether responses can always make forward
+// progress is exactly the VC-assignment question. The per-cycle
+// invariant auditor is on throughout, including the VC-class
+// separation check.
+func txnWallConfig(arch config.BufferArch, shared bool) config.Config {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Arch = arch
+	cfg.VCs, cfg.VCDepth = 2, 4
+	cfg.BufferSlots = 8
+	cfg.InjectionRate = 0
+	cfg.Seed = 61
+	cfg.Audit = true
+	cfg.Txn = config.TxnConfig{
+		Enabled:       true,
+		Rate:          0.5,
+		Window:        16,
+		ReadFrac:      1,
+		ServiceCycles: 4,
+		QueueDepth:    2,
+		MemEdge:       true,
+		Requests:      30,
+		SharedVCs:     shared,
+	}
+	return cfg
+}
+
+// TestTxnProtocolDeadlockWall is the protocol-deadlock regression
+// wall. With request and response classes separated onto disjoint VC
+// partitions, the saturating memory-edge workload must drain on every
+// buffer architecture within a generous cycle bound: responses always
+// find forward progress, so the memory controllers' finite queues
+// always eventually drain and every request retires. The negative
+// control runs the identical workload with both message classes on
+// one shared VC partition — read requests wedged at a full memory
+// controller hold the very channel VCs its outbound read responses
+// need, the classic request/response protocol deadlock — and must
+// freeze: not just miss the bound, but stop retiring entirely.
+func TestTxnProtocolDeadlockWall(t *testing.T) {
+	const bound = 50_000
+	for _, arch := range allArchs {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			cfg := txnWallConfig(arch, false)
+			n := New(&cfg)
+			defer n.Close()
+			for n.Now() < bound && !n.Txn().Done() {
+				n.Step()
+			}
+			if !n.Txn().Done() {
+				t.Fatalf("class-separated workload did not drain within %d cycles (%d retired)",
+					int64(bound), n.Txn().Retired())
+			}
+		})
+	}
+	t.Run("shared-vcs-wedge", func(t *testing.T) {
+		cfg := txnWallConfig(config.Generic, true)
+		n := New(&cfg)
+		defer n.Close()
+		for n.Now() < bound/2 && !n.Txn().Done() {
+			n.Step()
+		}
+		atHalf := n.Txn().Retired()
+		for n.Now() < bound && !n.Txn().Done() {
+			n.Step()
+		}
+		if n.Txn().Done() {
+			t.Fatalf("shared-VC negative control drained %d transactions; the deadlock wall lost its teeth",
+				n.Txn().Retired())
+		}
+		if got := n.Txn().Retired(); got != atHalf {
+			t.Fatalf("shared-VC negative control still retiring (%d at cycle %d, %d at %d): starvation, not deadlock",
+				atHalf, int64(bound/2), got, int64(bound))
+		}
+	})
+}

@@ -54,11 +54,12 @@ type CreditSender interface {
 // a specific output VC in stage 1 and claims it only if it wins
 // stage 2.
 type perVCAllocator interface {
-	// GrantableVC returns a grantable VC of the class, scanning
-	// round-robin from hint, or -1. It does not claim.
-	GrantableVC(escape bool, hint int) int
-	// ClaimVC marks the specific VC granted.
-	ClaimVC(vc int)
+	// GrantableVCIn returns a grantable VC within the class's chunk of
+	// the kind's ID range, scanning round-robin from hint, or -1. It
+	// does not claim.
+	GrantableVCIn(class int, escape bool, hint int) int
+	// ClaimVCIn marks the specific VC granted to a packet of the class.
+	ClaimVCIn(class, vc int)
 }
 
 // VC allocation state machine of one input virtual channel.
@@ -119,7 +120,6 @@ type outputPort struct {
 	conn   FlitSender
 }
 
-
 // Router is one 5-port pipelined NoC router.
 type Router struct {
 	id    int
@@ -165,10 +165,10 @@ type Router struct {
 	escapeTree *routing.EscapeTree
 
 	// scratch state reused across ticks to avoid per-cycle allocation
-	saNominee []int      // per input port: winning VC or -1
-	reqWords  []uint64   // request-mask scratch, ports*maxVCs bits wide
-	saReq     []bool     // per input port, for the port-wide stage-2 arbiters
-	opReq     []uint64   // per output port: input-port request bits (stage 2)
+	saNominee []int       // per input port: winning VC or -1
+	reqWords  []uint64    // request-mask scratch, ports*maxVCs bits wide
+	saReq     []bool      // per input port, for the port-wide stage-2 arbiters
+	opReq     []uint64    // per output port: input-port request bits (stage 2)
 	vaNoms    []vaNominee // ViChaR VA: per input port nominee
 	vaPicks   []vaPick    // generic VA stage 1, by flat input-VC id
 	vaFlats   []int       // flat ids picked this cycle, ascending
@@ -416,8 +416,9 @@ func (r *Router) tickRC(now int64) {
 
 // bestCandidate scores the packet's candidate output ports by VC
 // availability then free downstream slots, returning -1 when no
-// candidate can currently grant a VC of the required class.
-func (r *Router) bestCandidate(st *vcState, escape bool) int {
+// candidate can currently grant a VC of the required kind within the
+// packet's VC class.
+func (r *Router) bestCandidate(st *vcState, class int, escape bool) int {
 	best, bestSlots := -1, -1
 	for _, p := range st.cands {
 		o := &r.out[p]
@@ -425,10 +426,10 @@ func (r *Router) bestCandidate(st *vcState, escape bool) int {
 		// waiting VC's candidates each cycle, and the direct
 		// vicharView calls inline.
 		if o.vichar != nil {
-			if !o.vichar.HasFreeVC(escape) {
+			if !o.vichar.HasFreeVCIn(class, escape) {
 				continue
 			}
-		} else if o.view == nil || !o.view.HasFreeVC(escape) {
+		} else if o.view == nil || !o.view.HasFreeVCIn(class, escape) {
 			continue
 		}
 		if r.faults != nil && r.faults.LinkDead(p) {
@@ -532,7 +533,7 @@ func (r *Router) tickVAViChaR(now int64) {
 				b := bits.TrailingZeros64(m)
 				m &^= 1 << uint(b)
 				st := &in.vc[wi<<6+b]
-				if r.bestCandidate(st, st.pkt.Escaped) >= 0 {
+				if r.bestCandidate(st, int(st.pkt.Class), st.pkt.Escaped) >= 0 {
 					req[wi] |= 1 << uint(b)
 					any = true
 					contenders++
@@ -549,7 +550,7 @@ func (r *Router) tickVAViChaR(now int64) {
 			continue
 		}
 		st := &in.vc[w]
-		p := r.bestCandidate(st, st.pkt.Escaped)
+		p := r.bestCandidate(st, int(st.pkt.Class), st.pkt.Escaped)
 		noms[ip] = vaNominee{invc: w, port: p, escape: st.pkt.Escaped}
 	}
 	// Stage 2: one grant per output port. A single pass over the
@@ -582,9 +583,9 @@ func (r *Router) tickVAViChaR(now int64) {
 		var vc int
 		var ok bool
 		if o := &r.out[op]; o.vichar != nil {
-			vc, ok = o.vichar.AllocVC(n.escape)
+			vc, ok = o.vichar.AllocVCIn(int(st.pkt.Class), n.escape)
 		} else {
-			vc, ok = o.view.AllocVC(n.escape)
+			vc, ok = o.view.AllocVCIn(int(st.pkt.Class), n.escape)
 		}
 		if !ok {
 			continue // availability changed within the cycle; retry next
@@ -643,7 +644,8 @@ func (r *Router) tickVAGeneric(now int64) {
 				v := wi<<6 + b
 				st := &in.vc[v]
 				escape := st.pkt.Escaped
-				op := r.bestCandidate(st, escape)
+				class := int(st.pkt.Class)
+				op := r.bestCandidate(st, class, escape)
 				if op < 0 {
 					continue
 				}
@@ -652,7 +654,7 @@ func (r *Router) tickVAGeneric(now int64) {
 					//vichar:invariant non-ViChaR configurations always wire per-VC credit views; a mismatch is a construction bug
 					panic(fmt.Sprintf("router %d: %T cannot allocate per-VC", r.id, r.out[op].view))
 				}
-				ovc := alloc.GrantableVC(escape, v)
+				ovc := alloc.GrantableVCIn(class, escape, v)
 				if ovc < 0 {
 					continue
 				}
@@ -705,7 +707,7 @@ func (r *Router) tickVAGeneric(now int64) {
 		win := &r.in[ip]
 		st := &win.vc[v]
 		alloc := r.out[op].view.(perVCAllocator)
-		alloc.ClaimVC(ovc)
+		alloc.ClaimVCIn(int(st.pkt.Class), ovc)
 		st.state = vcActive
 		win.vaMask[v>>6] &^= 1 << (uint(v) & 63)
 		win.actMask[v>>6] |= 1 << (uint(v) & 63)
@@ -964,6 +966,11 @@ func (r *Router) InputBuffer(p int) buffers.Buffer { return r.in[p].buf }
 // the UBS checks. The network invokes this every cycle when
 // Config.Audit is set.
 func (r *Router) AuditInvariants(now int64) error {
+	classes := r.cfg.VCClasses()
+	escBase := r.maxVCs
+	if r.cfg.NeedsEscape() {
+		escBase = r.maxVCs - r.cfg.EscapeVCs
+	}
 	for p := range r.in {
 		in := &r.in[p]
 		// Scan masks must mirror the buffer and VC state machines —
@@ -991,6 +998,23 @@ func (r *Router) AuditInvariants(now int64) error {
 				if in.outInfo[v] != want {
 					//vichar:alloc violation reporting on the opt-in audit path (Config.Audit), not the steady-state tick
 					return fmt.Errorf("router %d port %d vc %d: outInfo=%#x want %#x", r.id, p, v, in.outInfo[v], want)
+				}
+			}
+			// VC-class separation: an occupied VC's ID chunk must match
+			// its packet's class, and so must a granted output VC (the
+			// ejection sink aside — its "VC 0" is not a real channel).
+			if classes > 1 && st != vcIdle {
+				pc := int(in.vc[v].pkt.Class)
+				if err := audit.CheckVCClass("input", r.id, p, v, classOfVC(v, escBase, r.maxVCs, classes), pc); err != nil {
+					return err
+				}
+				if op := in.vc[v].outPort; st == vcActive {
+					if _, sink := r.out[op].view.(*sinkView); !sink {
+						ovc := in.vc[v].outVC
+						if err := audit.CheckVCClass("output", r.id, op, ovc, classOfVC(ovc, escBase, r.maxVCs, classes), pc); err != nil {
+							return err
+						}
+					}
 				}
 			}
 		}

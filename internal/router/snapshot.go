@@ -61,6 +61,7 @@ func SaveView(w *snap.Writer, v CreditView) {
 		w.Bools(cv.resFree)
 		w.Bools(cv.granted)
 		w.Ints(cv.held)
+		w.Bools(cv.classRes)
 		cv.dispenser.SaveState(w)
 	case *sinkView:
 		w.Section("sinkview")
@@ -103,6 +104,7 @@ func LoadView(r *snap.Reader, v CreditView) error {
 		r.BoolsInto(cv.resFree)
 		r.BoolsInto(cv.granted)
 		r.IntsInto(cv.held)
+		r.BoolsInto(cv.classRes)
 		if err := cv.dispenser.LoadState(r); err != nil {
 			return err
 		}

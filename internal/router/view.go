@@ -23,12 +23,21 @@ type CreditView interface {
 	OnSend(f *flit.Flit)
 	// OnCredit credits the view for a downstream departure.
 	OnCredit(c flit.Credit)
-	// HasFreeVC reports whether a VC of the given class (escape or
-	// regular) could be granted to a new packet this cycle.
+	// HasFreeVC reports whether a VC of the given kind (escape or
+	// regular) could be granted to a new packet of class 0 this cycle.
 	HasFreeVC(escape bool) bool
-	// AllocVC grants a VC of the given class to a new packet. The
-	// caller must route all the packet's flits onto the returned VC.
+	// AllocVC grants a VC of the given kind to a new class-0 packet.
+	// The caller must route all the packet's flits onto the returned
+	// VC.
 	AllocVC(escape bool) (vc int, ok bool)
+	// HasFreeVCIn and AllocVCIn are the class-aware variants the VC
+	// allocator uses: each VC class (request, response) owns a disjoint
+	// contiguous chunk of the regular and escape VC ID ranges, so a
+	// grant for one class can never consume a channel the other class
+	// depends on. With one class (every non-transaction run) they are
+	// identical to HasFreeVC/AllocVC.
+	HasFreeVCIn(class int, escape bool) bool
+	AllocVCIn(class int, escape bool) (vc int, ok bool)
 	// FreeSlots returns the downstream slots currently available to
 	// new flits (summed over VCs for partitioned buffers); used by
 	// adaptive routing to score candidate outputs.
@@ -41,6 +50,43 @@ type CreditView interface {
 	// link's in-flight flits, the downstream occupancy and the
 	// in-flight credits.
 	OutstandingFlits() int
+}
+
+// classSpan splits the VC ID range [lo, hi) into classes contiguous
+// chunks and returns chunk class; earlier chunks absorb any
+// remainder. With one class the range is returned unchanged, so every
+// non-transaction configuration keeps today's allocation behavior
+// bit-for-bit.
+func classSpan(lo, hi, classes, class int) (int, int) {
+	n := hi - lo
+	if classes <= 1 || n <= 0 {
+		return lo, hi
+	}
+	size, rem := n/classes, n%classes
+	start := lo + class*size + min(class, rem)
+	end := start + size
+	if class < rem {
+		end++
+	}
+	return start, end
+}
+
+// classOfVC returns the class whose regular or escape chunk contains
+// vc, given the port's VC layout ([0, escBase) regular, [escBase,
+// total) escape).
+func classOfVC(vc, escBase, total, classes int) int {
+	if classes <= 1 {
+		return 0
+	}
+	for c := 0; c < classes; c++ {
+		if lo, hi := classSpan(0, escBase, classes, c); vc >= lo && vc < hi {
+			return c
+		}
+		if lo, hi := classSpan(escBase, total, classes, c); vc >= lo && vc < hi {
+			return c
+		}
+	}
+	return 0
 }
 
 // NewCreditView builds the view matching the configuration's buffer
@@ -56,13 +102,14 @@ func NewCreditViewIn(a *Arena, cfg *config.Config) CreditView {
 	if cfg.NeedsEscape() {
 		escape = cfg.EscapeVCs
 	}
+	classes := cfg.VCClasses()
 	switch cfg.Arch {
 	case config.Generic:
-		return newGenericView(a.Soa(), cfg.VCs, cfg.VCDepth, escape, cfg.AtomicVCAlloc)
+		return newGenericView(a.Soa(), cfg.VCs, cfg.VCDepth, escape, cfg.AtomicVCAlloc, classes)
 	case config.ViChaR:
-		return newViCharView(a.Soa(), cfg.BufferSlots, cfg.MaxVCs(), escape)
+		return newViCharView(a.Soa(), cfg.BufferSlots, cfg.MaxVCs(), escape, classes)
 	case config.DAMQ, config.FCCB:
-		return newSharedView(a.Soa(), cfg.VCs, cfg.BufferSlots, escape)
+		return newSharedView(a.Soa(), cfg.VCs, cfg.BufferSlots, escape, classes)
 	default:
 		panic(fmt.Sprintf("router: unknown buffer architecture %v", cfg.Arch))
 	}
@@ -78,16 +125,18 @@ type genericView struct {
 	open    []bool // a packet holds the VC and its tail has not been sent
 	escBase int    // first escape VC ID; len(credits) when no escape set
 	atomic  bool
+	classes int // VC classes partitioning both ID ranges (1 = unpartitioned)
 	rr      int // round-robin pointer for AllocVC
 }
 
-func newGenericView(a *soa.Arena, vcs, depth, escape int, atomic bool) *genericView {
+func newGenericView(a *soa.Arena, vcs, depth, escape int, atomic bool, classes int) *genericView {
 	v := &genericView{
 		depth:   depth,
 		credits: a.TakeInts(vcs),
 		open:    a.TakeBools(vcs),
 		escBase: vcs - escape,
 		atomic:  atomic,
+		classes: classes,
 	}
 	for i := range v.credits {
 		v.credits[i] = depth
@@ -133,15 +182,17 @@ func (v *genericView) grantable(vc int) bool {
 	return true
 }
 
-func (v *genericView) vcRange(escape bool) (lo, hi int) {
+func (v *genericView) vcRange(class int, escape bool) (lo, hi int) {
 	if escape {
-		return v.escBase, len(v.credits)
+		return classSpan(v.escBase, len(v.credits), v.classes, class)
 	}
-	return 0, v.escBase
+	return classSpan(0, v.escBase, v.classes, class)
 }
 
-func (v *genericView) HasFreeVC(escape bool) bool {
-	lo, hi := v.vcRange(escape)
+func (v *genericView) HasFreeVC(escape bool) bool { return v.HasFreeVCIn(0, escape) }
+
+func (v *genericView) HasFreeVCIn(class int, escape bool) bool {
+	lo, hi := v.vcRange(class, escape)
 	for vc := lo; vc < hi; vc++ {
 		if v.grantable(vc) {
 			return true
@@ -150,8 +201,10 @@ func (v *genericView) HasFreeVC(escape bool) bool {
 	return false
 }
 
-func (v *genericView) AllocVC(escape bool) (int, bool) {
-	lo, hi := v.vcRange(escape)
+func (v *genericView) AllocVC(escape bool) (int, bool) { return v.AllocVCIn(0, escape) }
+
+func (v *genericView) AllocVCIn(class int, escape bool) (int, bool) {
+	lo, hi := v.vcRange(class, escape)
 	n := hi - lo
 	if n <= 0 {
 		return -1, false
@@ -167,10 +220,15 @@ func (v *genericView) AllocVC(escape bool) (int, bool) {
 	return -1, false
 }
 
-// GrantableVC returns a grantable VC of the class, scanning
+// GrantableVC returns a grantable class-0 VC of the kind, scanning
 // round-robin from hint, without claiming it (generic VA stage 1).
 func (v *genericView) GrantableVC(escape bool, hint int) int {
-	lo, hi := v.vcRange(escape)
+	return v.GrantableVCIn(0, escape, hint)
+}
+
+// GrantableVCIn is GrantableVC restricted to the class's VC chunk.
+func (v *genericView) GrantableVCIn(class int, escape bool, hint int) int {
+	lo, hi := v.vcRange(class, escape)
 	n := hi - lo
 	if n <= 0 {
 		return -1
@@ -195,6 +253,9 @@ func (v *genericView) ClaimVC(vc int) {
 	}
 	v.open[vc] = true
 }
+
+// ClaimVCIn is ClaimVC; the class is implied by the VC's chunk.
+func (v *genericView) ClaimVCIn(class, vc int) { v.ClaimVC(vc) }
 
 func (v *genericView) FreeSlots() int {
 	n := 0
@@ -238,10 +299,11 @@ type sharedView struct {
 	held       []int  // per queue: flits resident downstream
 	open       []bool
 	escBase    int
+	classes    int // VC classes partitioning both ID ranges (1 = unpartitioned)
 	rr         int
 }
 
-func newSharedView(a *soa.Arena, vcs, slots, escape int) *sharedView {
+func newSharedView(a *soa.Arena, vcs, slots, escape, classes int) *sharedView {
 	if slots < vcs {
 		panic(fmt.Sprintf("router: shared view needs a reservable slot per VC, got %d slots for %d VCs", slots, vcs))
 	}
@@ -252,6 +314,7 @@ func newSharedView(a *soa.Arena, vcs, slots, escape int) *sharedView {
 		held:       a.TakeInts(vcs),
 		open:       a.TakeBools(vcs),
 		escBase:    vcs - escape,
+		classes:    classes,
 	}
 	for i := range v.resFree {
 		v.resFree[i] = true
@@ -301,15 +364,17 @@ func (v *sharedView) OnCredit(c flit.Credit) {
 	}
 }
 
-func (v *sharedView) vcRange(escape bool) (lo, hi int) {
+func (v *sharedView) vcRange(class int, escape bool) (lo, hi int) {
 	if escape {
-		return v.escBase, len(v.open)
+		return classSpan(v.escBase, len(v.open), v.classes, class)
 	}
-	return 0, v.escBase
+	return classSpan(0, v.escBase, v.classes, class)
 }
 
-func (v *sharedView) HasFreeVC(escape bool) bool {
-	lo, hi := v.vcRange(escape)
+func (v *sharedView) HasFreeVC(escape bool) bool { return v.HasFreeVCIn(0, escape) }
+
+func (v *sharedView) HasFreeVCIn(class int, escape bool) bool {
+	lo, hi := v.vcRange(class, escape)
 	for vc := lo; vc < hi; vc++ {
 		if !v.open[vc] {
 			return true
@@ -318,8 +383,10 @@ func (v *sharedView) HasFreeVC(escape bool) bool {
 	return false
 }
 
-func (v *sharedView) AllocVC(escape bool) (int, bool) {
-	lo, hi := v.vcRange(escape)
+func (v *sharedView) AllocVC(escape bool) (int, bool) { return v.AllocVCIn(0, escape) }
+
+func (v *sharedView) AllocVCIn(class int, escape bool) (int, bool) {
+	lo, hi := v.vcRange(class, escape)
 	n := hi - lo
 	if n <= 0 {
 		return -1, false
@@ -335,10 +402,15 @@ func (v *sharedView) AllocVC(escape bool) (int, bool) {
 	return -1, false
 }
 
-// GrantableVC returns a grantable VC of the class, scanning
+// GrantableVC returns a grantable class-0 VC of the kind, scanning
 // round-robin from hint, without claiming it.
 func (v *sharedView) GrantableVC(escape bool, hint int) int {
-	lo, hi := v.vcRange(escape)
+	return v.GrantableVCIn(0, escape, hint)
+}
+
+// GrantableVCIn is GrantableVC restricted to the class's VC chunk.
+func (v *sharedView) GrantableVCIn(class int, escape bool, hint int) int {
+	lo, hi := v.vcRange(class, escape)
 	n := hi - lo
 	if n <= 0 {
 		return -1
@@ -363,6 +435,9 @@ func (v *sharedView) ClaimVC(vc int) {
 	}
 	v.open[vc] = true
 }
+
+// ClaimVCIn is ClaimVC; the class is implied by the VC's chunk.
+func (v *sharedView) ClaimVCIn(class, vc int) { v.ClaimVC(vc) }
 
 func (v *sharedView) FreeSlots() int { return v.sharedFree }
 
@@ -405,6 +480,16 @@ func (v *sharedView) OutstandingVCs() int {
 // Maintained invariant for every granted VC: reservation parked OR at
 // least one flit resident. This keeps busy VCs from idling buffer
 // capacity while preserving the deadlock-freedom guarantee.
+// With VC classes (classes > 1), the dispenser's regular and escape
+// ID ranges are chunked per class and grants come from the requesting
+// class's chunk only (Dispenser.GrantIn), and one pool slot per class
+// is carved out as that class's grant reserve (classRes): a class can
+// take a token — and with it the token's landing-slot reservation —
+// even when the shared pool has been exhausted by the other class.
+// Together these make the response class's progress independent of
+// request-class congestion, which is what breaks the request/response
+// protocol-deadlock cycle through the unified storage. Slots freed by
+// a VC refill its own class's reserve before the shared pool.
 type vicharView struct {
 	slots      int
 	sharedFree int
@@ -412,17 +497,57 @@ type vicharView struct {
 	resFree    []bool // per VC: reservation available (token outstanding)
 	granted    []bool // per VC: token outstanding
 	held       []int  // per VC: flits resident downstream
+	escBase    int    // first escape VC ID; == len(granted) when no escape set
+	classes    int
+	classRes   []bool // per class: grant-reserve slot currently free; nil when classes == 1
 }
 
-func newViCharView(a *soa.Arena, slots, vcs, escape int) *vicharView {
-	return &vicharView{
+func newViCharView(a *soa.Arena, slots, vcs, escape, classes int) *vicharView {
+	v := &vicharView{
 		slots:      slots,
 		sharedFree: slots,
 		dispenser:  core.NewDispenserIn(a, vcs, escape),
 		resFree:    a.TakeBools(vcs),
 		granted:    a.TakeBools(vcs),
 		held:       a.TakeInts(vcs),
+		escBase:    vcs - escape,
+		classes:    classes,
 	}
+	if classes > 1 {
+		if slots <= classes {
+			panic(fmt.Sprintf("router: class-partitioned UBS needs more slots (%d) than classes (%d)", slots, classes))
+		}
+		v.sharedFree = slots - classes
+		v.classRes = a.TakeBools(classes)
+		for c := range v.classRes {
+			v.classRes[c] = true
+		}
+	}
+	return v
+}
+
+// classOf returns the VC class that owns vc's ID chunk.
+func (v *vicharView) classOf(vc int) int {
+	return classOfVC(vc, v.escBase, len(v.granted), v.classes)
+}
+
+// freeSlot returns the slot a departing flit (or unparked reservation)
+// of vc just vacated: the VC's class reserve refills first so every
+// class keeps its token-grant guarantee, then the shared pool.
+func (v *vicharView) freeSlot(vc int) {
+	if v.classRes != nil {
+		if c := v.classOf(vc); !v.classRes[c] {
+			v.classRes[c] = true
+			return
+		}
+	}
+	v.sharedFree++
+}
+
+// grantSlotFree reports whether a token grant for the class could
+// carry its one-slot reservation.
+func (v *vicharView) grantSlotFree(class int) bool {
+	return v.sharedFree > 0 || (v.classRes != nil && v.classRes[class])
 }
 
 func (v *vicharView) CanSendFlit(vc int) bool {
@@ -447,7 +572,7 @@ func (v *vicharView) OnSend(f *flit.Flit) {
 	// reservation while it does.
 	if v.resFree[f.VC] {
 		v.resFree[f.VC] = false
-		v.sharedFree++
+		v.freeSlot(f.VC)
 	}
 }
 
@@ -465,44 +590,64 @@ func (v *vicharView) OnCredit(c flit.Credit) {
 		}
 		// Tails depart last, so the reservation cannot be parked
 		// here; the departing flit's slot returns to the pool.
-		v.sharedFree++
 		v.resFree[c.VC] = false
 		v.granted[c.VC] = false
 		v.dispenser.Return(c.VC)
+		v.freeSlot(c.VC)
 	case v.held[c.VC] == 0:
 		// Last resident flit left mid-packet: re-park the reservation
 		// so the VC keeps its guaranteed landing slot.
 		v.resFree[c.VC] = true
 	default:
-		v.sharedFree++
+		v.freeSlot(c.VC)
 	}
-	if v.sharedFree > v.slots {
+	limit := v.slots
+	if v.classRes != nil {
+		limit -= len(v.classRes)
+	}
+	if v.sharedFree > limit {
 		//vichar:invariant free slots exceeding pool capacity means a slot was credited twice
 		panic("router: UBS credit overflow")
 	}
 }
 
-func (v *vicharView) HasFreeVC(escape bool) bool {
-	if v.sharedFree == 0 {
+// tokenRange returns the class's chunk of the dispenser's global VC
+// ID range for the chosen token kind.
+func (v *vicharView) tokenRange(class int, escape bool) (lo, hi int) {
+	if escape {
+		return classSpan(v.escBase, len(v.granted), v.classes, class)
+	}
+	return classSpan(0, v.escBase, v.classes, class)
+}
+
+func (v *vicharView) HasFreeVC(escape bool) bool { return v.HasFreeVCIn(0, escape) }
+
+func (v *vicharView) HasFreeVCIn(class int, escape bool) bool {
+	if !v.grantSlotFree(class) {
 		return false // no slot left to carry the token's reservation
 	}
-	if escape {
-		return v.dispenser.FreeEscape() > 0
-	}
-	return v.dispenser.FreeNormal() > 0
+	lo, hi := v.tokenRange(class, escape)
+	return v.dispenser.FreeIn(escape, lo, hi) > 0
 }
 
 // AllocVC grants the next token and moves one slot from the shared
-// pool into the new VC's reservation.
-func (v *vicharView) AllocVC(escape bool) (int, bool) {
-	if v.sharedFree == 0 {
+// pool (or the class's grant reserve) into the new VC's reservation.
+func (v *vicharView) AllocVC(escape bool) (int, bool) { return v.AllocVCIn(0, escape) }
+
+func (v *vicharView) AllocVCIn(class int, escape bool) (int, bool) {
+	if !v.grantSlotFree(class) {
 		return -1, false
 	}
-	vc, ok := v.dispenser.Grant(escape)
+	lo, hi := v.tokenRange(class, escape)
+	vc, ok := v.dispenser.GrantIn(escape, lo, hi)
 	if !ok {
 		return -1, false
 	}
-	v.sharedFree--
+	if v.sharedFree > 0 {
+		v.sharedFree--
+	} else {
+		v.classRes[class] = false
+	}
 	v.resFree[vc] = true
 	v.granted[vc] = true
 	return vc, true
@@ -520,13 +665,37 @@ func (v *vicharView) OutstandingFlits() int {
 
 func (v *vicharView) OutstandingVCs() int { return v.dispenser.InUse() }
 
+// Admission is the per-class back-pressure a network-interface
+// endpoint exerts on its ejection port. Peek reports whether a new
+// packet of the class may be granted ejection this cycle; Admit
+// reserves the endpoint resource that grant will occupy. Both run
+// inside the owning router's compute phase and must touch only state
+// owned by that node (the memory-controller service queue of
+// internal/txn), reading deterministically from the committed cycle
+// state.
+type Admission interface {
+	Peek(class int) bool
+	Admit(class int)
+}
+
 // sinkView models the processing element at the end of a local
 // ejection port: it consumes one flit per cycle with effectively
-// infinite buffering, so it always has credit and a VC.
-type sinkView struct{ outstanding int }
+// infinite buffering, so it always has credit — and, unless an
+// Admission gate is installed, always has a VC.
+type sinkView struct {
+	outstanding int
+	admit       Admission
+}
 
 // NewSinkView returns the ejection-side credit view.
 func NewSinkView() CreditView { return &sinkView{} }
+
+// NewSinkViewWith returns an ejection-side credit view whose VC
+// grants are gated by the admission policy (nil behaves like
+// NewSinkView). This is how a finite network-interface queue refuses
+// ejection to a packet class — the real NIU buffer bound that makes
+// protocol deadlock reachable.
+func NewSinkViewWith(admit Admission) CreditView { return &sinkView{admit: admit} }
 
 func (v *sinkView) CanSendFlit(vc int) bool { return true }
 
@@ -540,10 +709,25 @@ func (v *sinkView) OnSend(f *flit.Flit) {
 }
 
 func (v *sinkView) OnCredit(c flit.Credit)          {}
-func (v *sinkView) HasFreeVC(escape bool) bool      { return true }
-func (v *sinkView) AllocVC(escape bool) (int, bool) { return 0, true }
-func (v *sinkView) FreeSlots() int                  { return 1 << 20 }
-func (v *sinkView) OutstandingVCs() int             { return v.outstanding }
+func (v *sinkView) HasFreeVC(escape bool) bool      { return v.HasFreeVCIn(0, escape) }
+func (v *sinkView) AllocVC(escape bool) (int, bool) { return v.AllocVCIn(0, escape) }
+
+func (v *sinkView) HasFreeVCIn(class int, escape bool) bool {
+	return v.admit == nil || v.admit.Peek(class)
+}
+
+func (v *sinkView) AllocVCIn(class int, escape bool) (int, bool) {
+	if v.admit != nil {
+		if !v.admit.Peek(class) {
+			return -1, false
+		}
+		v.admit.Admit(class)
+	}
+	return 0, true
+}
+
+func (v *sinkView) FreeSlots() int      { return 1 << 20 }
+func (v *sinkView) OutstandingVCs() int { return v.outstanding }
 
 // OutstandingFlits is always zero at the sink: the processing element
 // consumes flits immediately and sends no credits back.
@@ -551,10 +735,26 @@ func (v *sinkView) OutstandingFlits() int { return 0 }
 
 // GrantableVC always offers VC 0: the processing element consumes
 // flits of any number of interleaved packets.
-func (v *sinkView) GrantableVC(escape bool, hint int) int { return 0 }
+func (v *sinkView) GrantableVC(escape bool, hint int) int { return v.GrantableVCIn(0, escape, hint) }
+
+// GrantableVCIn offers VC 0 unless the admission gate refuses the
+// class this cycle.
+func (v *sinkView) GrantableVCIn(class int, escape bool, hint int) int {
+	if v.admit != nil && !v.admit.Peek(class) {
+		return -1
+	}
+	return 0
+}
 
 // ClaimVC is a no-op at the sink.
 func (v *sinkView) ClaimVC(vc int) {}
+
+// ClaimVCIn reserves the admission slot GrantableVCIn peeked.
+func (v *sinkView) ClaimVCIn(class, vc int) {
+	if v.admit != nil {
+		v.admit.Admit(class)
+	}
+}
 
 var (
 	_ CreditView = (*genericView)(nil)

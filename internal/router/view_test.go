@@ -39,7 +39,7 @@ func TestNewCreditViewDispatch(t *testing.T) {
 }
 
 func TestGenericViewCreditAccounting(t *testing.T) {
-	v := newGenericView(nil, 2, 3, 0, true)
+	v := newGenericView(nil, 2, 3, 0, true, 1)
 	if v.FreeSlots() != 6 {
 		t.Fatalf("fresh free slots %d", v.FreeSlots())
 	}
@@ -67,7 +67,7 @@ func TestGenericViewCreditAccounting(t *testing.T) {
 }
 
 func TestGenericViewAtomicAllocation(t *testing.T) {
-	v := newGenericView(nil, 1, 4, 0, true)
+	v := newGenericView(nil, 1, 4, 0, true, 1)
 	vc, ok := v.AllocVC(false)
 	if !ok || vc != 0 {
 		t.Fatalf("alloc got %d/%v", vc, ok)
@@ -85,7 +85,7 @@ func TestGenericViewAtomicAllocation(t *testing.T) {
 }
 
 func TestGenericViewNonAtomicAllocation(t *testing.T) {
-	v := newGenericView(nil, 1, 4, 0, false)
+	v := newGenericView(nil, 1, 4, 0, false, 1)
 	if _, ok := v.AllocVC(false); !ok {
 		t.Fatal("fresh alloc failed")
 	}
@@ -100,7 +100,7 @@ func TestGenericViewNonAtomicAllocation(t *testing.T) {
 }
 
 func TestGenericViewEscapePartition(t *testing.T) {
-	v := newGenericView(nil, 4, 2, 1, true)
+	v := newGenericView(nil, 4, 2, 1, true, 1)
 	// Normal allocations never touch the escape VC (id 3).
 	for i := 0; i < 3; i++ {
 		vc, ok := v.AllocVC(false)
@@ -121,7 +121,7 @@ func TestGenericViewEscapePartition(t *testing.T) {
 }
 
 func TestGenericViewGrantableClaim(t *testing.T) {
-	v := newGenericView(nil, 4, 2, 0, true)
+	v := newGenericView(nil, 4, 2, 0, true, 1)
 	g := v.GrantableVC(false, 2)
 	if g != 2 {
 		t.Fatalf("hint ignored: got %d", g)
@@ -153,7 +153,7 @@ func TestGenericViewPanics(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			v := newGenericView(nil, 2, 1, 0, true)
+			v := newGenericView(nil, 2, 1, 0, true, 1)
 			defer func() {
 				if recover() == nil {
 					t.Errorf("%s did not panic", c.name)
@@ -165,7 +165,7 @@ func TestGenericViewPanics(t *testing.T) {
 }
 
 func TestSharedViewPoolAccounting(t *testing.T) {
-	v := newSharedView(nil, 4, 6, 0)
+	v := newSharedView(nil, 4, 6, 0, 1)
 	// 6 slots, 4 permanent per-queue reservations: 2 shared.
 	if v.FreeSlots() != 2 {
 		t.Fatalf("fresh shared slots %d, want 2", v.FreeSlots())
@@ -201,7 +201,7 @@ func TestSharedViewPoolAccounting(t *testing.T) {
 // shared pool is exhausted by other queues — the DAMQ anti-deadlock
 // provision.
 func TestSharedViewReservationGuarantee(t *testing.T) {
-	v := newSharedView(nil, 2, 4, 0) // 2 shared + 2 reserved
+	v := newSharedView(nil, 2, 4, 0, 1) // 2 shared + 2 reserved
 	v.OnSend(headFlit(0))
 	v.OnSend(headFlit(0)) // queue 0 eats the shared pool
 	if v.FreeSlots() != 0 {
@@ -220,7 +220,7 @@ func TestSharedViewReservationGuarantee(t *testing.T) {
 }
 
 func TestSharedViewVCLifecycle(t *testing.T) {
-	v := newSharedView(nil, 2, 8, 0)
+	v := newSharedView(nil, 2, 8, 0, 1)
 	a, _ := v.AllocVC(false)
 	b, ok := v.AllocVC(false)
 	if !ok || a == b {
@@ -239,7 +239,7 @@ func TestSharedViewVCLifecycle(t *testing.T) {
 }
 
 func TestViCharViewTokenFlow(t *testing.T) {
-	v := newViCharView(nil, 16, 16, 0)
+	v := newViCharView(nil, 16, 16, 0, 1)
 	if v.FreeSlots() != 16 || v.OutstandingVCs() != 0 {
 		t.Fatal("fresh vichar view wrong")
 	}
@@ -285,7 +285,7 @@ func TestViCharViewTokenFlow(t *testing.T) {
 // A packet deeper than one flit flows through a VC by alternating its
 // reservation with departures even when the shared pool is empty.
 func TestViCharViewReservationCycling(t *testing.T) {
-	v := newViCharView(nil, 2, 2, 0)
+	v := newViCharView(nil, 2, 2, 0, 1)
 	a, ok := v.AllocVC(false)
 	b, ok2 := v.AllocVC(false)
 	if !ok || !ok2 {
@@ -313,7 +313,7 @@ func TestViCharViewReservationCycling(t *testing.T) {
 }
 
 func TestViCharViewEscapeTokens(t *testing.T) {
-	v := newViCharView(nil, 8, 8, 2)
+	v := newViCharView(nil, 8, 8, 2, 1)
 	if v.HasFreeVC(true) != true {
 		t.Fatal("escape tokens missing")
 	}
@@ -333,7 +333,7 @@ func TestViCharViewEscapeTokens(t *testing.T) {
 }
 
 func TestViCharViewPanics(t *testing.T) {
-	v := newViCharView(nil, 2, 2, 0)
+	v := newViCharView(nil, 2, 2, 0, 1)
 	v.OnSend(headFlit(0))
 	v.OnSend(headFlit(1))
 	func() {
@@ -377,7 +377,7 @@ func TestSinkViewAlwaysAvailable(t *testing.T) {
 }
 
 func TestSharedViewGrantableClaim(t *testing.T) {
-	v := newSharedView(nil, 4, 8, 1) // queue 3 is the escape class
+	v := newSharedView(nil, 4, 8, 1, 1) // queue 3 is the escape class
 	// Normal class scans 0..2 from the hint.
 	if got := v.GrantableVC(false, 2); got != 2 {
 		t.Fatalf("hint ignored: %d", got)
@@ -404,7 +404,7 @@ func TestSharedViewGrantableClaim(t *testing.T) {
 }
 
 func TestSharedViewOutstanding(t *testing.T) {
-	v := newSharedView(nil, 3, 6, 0)
+	v := newSharedView(nil, 3, 6, 0, 1)
 	if v.OutstandingVCs() != 0 {
 		t.Fatal("fresh outstanding nonzero")
 	}
@@ -420,7 +420,7 @@ func TestSharedViewOutstanding(t *testing.T) {
 }
 
 func TestSharedViewStrayCreditPanics(t *testing.T) {
-	v := newSharedView(nil, 2, 4, 0)
+	v := newSharedView(nil, 2, 4, 0, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("stray credit did not panic")
@@ -435,11 +435,11 @@ func TestSharedViewNeedsSlotPerQueue(t *testing.T) {
 			t.Fatal("undersized shared view did not panic")
 		}
 	}()
-	newSharedView(nil, 8, 4, 0)
+	newSharedView(nil, 8, 4, 0, 1)
 }
 
 func TestViCharViewStrayCreditPanics(t *testing.T) {
-	v := newViCharView(nil, 4, 4, 0)
+	v := newViCharView(nil, 4, 4, 0, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("stray UBS credit did not panic")
@@ -449,7 +449,7 @@ func TestViCharViewStrayCreditPanics(t *testing.T) {
 }
 
 func TestViCharViewOutOfRangeSend(t *testing.T) {
-	v := newViCharView(nil, 4, 4, 0)
+	v := newViCharView(nil, 4, 4, 0, 1)
 	if v.CanSendFlit(-1) || v.CanSendFlit(9) {
 		t.Fatal("out-of-range vc sendable")
 	}

@@ -28,7 +28,9 @@ import (
 const (
 	magic = "VCHRSNAP"
 	// Version is the snapshot format version; Open rejects any other.
-	Version = 1
+	// Version 2 added packet Class/Kind/Req, per-class NI streams,
+	// ViChaR class reserves and the transaction-engine section.
+	Version = 2
 )
 
 // Writer accumulates a snapshot payload and seals it with Finish.

@@ -179,6 +179,53 @@ type Results struct {
 	Counters Counters
 	// AvgPowerWatts is filled in by the power model (0 if unused).
 	AvgPowerWatts float64
+
+	// Txn carries the transaction-layer results; nil (and omitted
+	// from JSON) when Config.Txn is off, so fire-and-forget result
+	// fixtures are unaffected by the layer's existence.
+	Txn *TxnResults `json:",omitempty"`
+}
+
+// TxnResults is the transaction layer's end-to-end outcome: counts
+// over the whole run, latency statistics (request creation to
+// retirement, in cycles) over the measurement window.
+type TxnResults struct {
+	// Issued and Retired count transactions over the whole run; a gap
+	// at finalization means transactions were still in flight.
+	Issued  int64
+	Retired int64
+	// MeasuredTxns is the number of latency samples below.
+	MeasuredTxns int64
+	// AvgLatency and the percentiles summarize end-to-end transaction
+	// latency: request creation to response tail ejection at the
+	// requester (posted writes: to tail ejection at the target).
+	AvgLatency float64
+	P50Latency float64
+	P95Latency float64
+	P99Latency float64
+	MaxLatency int64
+}
+
+// FinalizeTxn reduces the engine's latency samples into TxnResults.
+// samples is not retained; a nil or empty slice yields zero latency
+// statistics.
+func FinalizeTxn(samples []int64, issued, retired int64) *TxnResults {
+	t := &TxnResults{Issued: issued, Retired: retired, MeasuredTxns: int64(len(samples))}
+	if len(samples) == 0 {
+		return t
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	sum := 0.0
+	for _, l := range sorted {
+		sum += float64(l)
+	}
+	t.AvgLatency = sum / float64(len(sorted))
+	t.P50Latency = percentile(sorted, 0.50)
+	t.P95Latency = percentile(sorted, 0.95)
+	t.P99Latency = percentile(sorted, 0.99)
+	t.MaxLatency = sorted[len(sorted)-1]
+	return t
 }
 
 func (r *Results) String() string {

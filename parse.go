@@ -35,6 +35,14 @@ func ParseDest(s string) (DestPattern, error) { return config.ParseDest(s) }
 // faults.
 func ParseFaults(s string) (Faults, error) { return config.ParseFaults(s) }
 
+// ParseTxn parses the compact transaction-workload grammar used by
+// the -txn command-line flag: comma-separated clauses among
+// "rate=R", "window=N", "mix=READ/WRITE/ATOMIC", "posted=F",
+// "service=CYCLES", "queue=DEPTH", "edge=BOOL", "reqs=N",
+// "shared=BOOL" and "seed=N". Any clause enables the layer; "",
+// "off" and "none" disable it.
+func ParseTxn(s string) (Txn, error) { return config.ParseTxn(s) }
+
 // SaveConfig serializes a configuration as indented JSON with
 // human-readable enum names.
 func SaveConfig(w io.Writer, cfg Config) error {

@@ -152,17 +152,37 @@ func checkResume(t *testing.T, cfg vichar.Config) bool {
 
 // TestSnapshotResumeBitIdentical is the headline enforcement: all
 // four architectures, faults on, metrics and event tracing on, cuts
-// at three cycles including mid-packet and mid-warmup ones.
+// at three cycles including mid-packet and mid-warmup ones — and the
+// same matrix again with the NIU transaction layer running, so the
+// engine's rng streams, pending tables, memory-controller queues and
+// per-class NI streams all cross the snapshot boundary.
 func TestSnapshotResumeBitIdentical(t *testing.T) {
 	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
-		t.Run(fmt.Sprint(arch), func(t *testing.T) {
-			cfg := withFaults(snapCfg(arch))
-			cfg.Metrics = true
-			cfg.TraceEvents = 4096
-			if !checkResume(t, cfg) {
-				t.Fatalf("no cut landed mid-packet; test lost its teeth")
+		for _, txnOn := range []bool{false, true} {
+			name := fmt.Sprint(arch)
+			if txnOn {
+				name += "-txn"
 			}
-		})
+			t.Run(name, func(t *testing.T) {
+				cfg := withFaults(snapCfg(arch))
+				cfg.Metrics = true
+				cfg.TraceEvents = 4096
+				if txnOn {
+					cfg.Txn = vichar.Txn{
+						Enabled:    true,
+						Rate:       0.04,
+						ReadFrac:   0.7,
+						WriteFrac:  0.25,
+						AtomicFrac: 0.05,
+						PostedFrac: 0.5,
+						MemEdge:    true,
+					}
+				}
+				if !checkResume(t, cfg) {
+					t.Fatalf("no cut landed mid-packet; test lost its teeth")
+				}
+			})
+		}
 	}
 }
 

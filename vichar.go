@@ -125,6 +125,18 @@ const (
 // by the fault-aware escape tree. Zero value = no faults.
 type Faults = config.FaultsConfig
 
+// Txn configures the network-interface (NIU) transaction layer:
+// request/response protocol traffic (reads, writes, posted writes,
+// atomics) with per-node outstanding-request windows, finite
+// memory-controller service queues, and message classes mapped onto
+// disjoint virtual-channel classes so responses can never be blocked
+// behind requests. Zero value = no transaction layer.
+type Txn = config.TxnConfig
+
+// TxnResults carries the transaction layer's end-to-end latency
+// metrics; Results.Txn is non-nil only when the layer is enabled.
+type TxnResults = stats.TxnResults
+
 // FaultEvent is one scheduled fault of a Faults.Events list.
 type FaultEvent = config.FaultEvent
 
