@@ -118,9 +118,40 @@ bench-compare:
 	$(GO) run ./cmd/vichar-benchcmp BENCH_kernel.json results/BENCH_kernel_new.json
 
 # One fast iteration of every kernel benchmark cell — CI's guard that
-# the benchmark harness itself can never silently rot.
+# the benchmark harness itself can never silently rot — followed by
+# the throughput-regression gate: the smoke sweep is written as an
+# artifact and compared against the committed
+# results/BENCH_kernel_pre.json lineage; a saturated-rate cell losing
+# more than 10% of its router-cycles/s fails the build. Shared-host
+# noise is one-sided slow, so each cell keeps the fastest of three
+# one-iteration repetitions (VICHAR_BENCH_BEST_OF) — a lower bound on
+# true cost that keeps the gate from flaking on load spikes while a
+# structural regression still fails every repetition.
 bench-smoke:
-	$(GO) test . -run 'TestNone$$' -bench BenchmarkKernel -benchtime 1x
+	mkdir -p results
+	VICHAR_BENCH_JSON=$(CURDIR)/results/BENCH_kernel_smoke.json \
+		VICHAR_BENCH_BASELINE=$(CURDIR)/results/BENCH_kernel_pre.json \
+		VICHAR_BENCH_BEST_OF=3 \
+		$(GO) test . -run TestKernelBenchArtifact -benchtime 1x
+	$(GO) run ./cmd/vichar-benchcmp -max-loss 10 \
+		results/BENCH_kernel_pre.json results/BENCH_kernel_smoke.json
+
+# CPU profile of the saturated single-threaded ViChaR kernel cell —
+# the PR-over-PR optimization loop's instrument. Writes the raw
+# profile to results/kernel.prof and checks in the top-10 flat/cum
+# report as results/PROFILE_kernel.txt so the hot-spot ranking is
+# reviewable without rerunning the profiler.
+profile:
+	mkdir -p results
+	$(GO) test . -run 'TestNone$$' -bench 'BenchmarkKernel/ViC/rate=0.40/workers=1' \
+		-benchtime 20x -cpuprofile results/kernel.prof -o results/kernel.test
+	{ echo "# Top-10 flat (self) CPU, BenchmarkKernel ViChaR rate=0.40 workers=1"; \
+	  $(GO) tool pprof -top -nodecount=10 results/kernel.test results/kernel.prof; \
+	  echo; \
+	  echo "# Top-10 cumulative CPU"; \
+	  $(GO) tool pprof -top -cum -nodecount=10 results/kernel.test results/kernel.prof; \
+	} > results/PROFILE_kernel.txt
+	@echo wrote results/PROFILE_kernel.txt
 
 # Observability overhead sweep (disabled / metrics / metrics+trace on
 # the kernel benchmark platform), persisted as BENCH_obs.json. Set

@@ -36,7 +36,7 @@ var obsBenchModes = []struct {
 // obsBenchConfig is kernelBenchConfig's platform with one
 // observability mode applied.
 func obsBenchConfig(mode int) vichar.Config {
-	cfg := kernelBenchConfig(vichar.ViChaR, kernelSaturatedRate, 1)
+	cfg := kernelBenchConfig(vichar.ViChaR, 8, kernelSaturatedRate, 1)
 	cfg.Metrics = obsBenchModes[mode].metrics
 	cfg.TraceEvents = obsBenchModes[mode].trace
 	return cfg

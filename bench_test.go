@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"vichar"
@@ -391,20 +392,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // --- Two-phase cycle kernel (DESIGN.md §10) ---
 
-// The two injection rates of the kernel sweep: near saturation
-// (compute dominates, sharding has the most work to parallelize) and
-// near idle (most routers are quiet most cycles — the active-router
-// worklist's home turf).
+// The injection rates of the kernel sweep: near saturation (compute
+// dominates, sharding has the most work to parallelize), mid-load
+// (the regime most experiments sweep through), and near idle (most
+// routers are quiet most cycles — the active-router worklist's home
+// turf).
 const (
 	kernelSaturatedRate = 0.40
+	kernelMidRate       = 0.20
 	kernelIdleRate      = 0.05
 )
 
-// kernelBenchConfig is the kernel benchmark platform: the paper's 8x8
-// mesh at the given injection rate.
-func kernelBenchConfig(arch vichar.BufferArch, rate float64, workers int) vichar.Config {
+// kernelMeshDims are the big-mesh scaling cells run on the ViChaR
+// configuration in addition to the paper's 8x8 platform; the artifact
+// records each cell's route-table footprint (nodes² bytes) alongside
+// its throughput.
+var kernelMeshDims = []int{16, 32}
+
+// kernelBenchConfig is the kernel benchmark platform: a dim x dim
+// mesh (the paper's 8x8 for the main sweep) at the given injection
+// rate.
+func kernelBenchConfig(arch vichar.BufferArch, dim int, rate float64, workers int) vichar.Config {
 	cfg := vichar.DefaultConfig()
 	cfg.Arch = arch
+	cfg.Width, cfg.Height = dim, dim
 	cfg.InjectionRate = rate
 	cfg.WarmupPackets, cfg.MeasurePackets = 500, 2_000
 	cfg.MaxCycles = 80_000
@@ -426,6 +437,18 @@ func kernelWorkerCounts() []int {
 	return out
 }
 
+// routeTableBytes builds one simulator on cfg just to read the route
+// memoization footprint its network paid at construction.
+func routeTableBytes(t *testing.T, cfg vichar.Config) int {
+	t.Helper()
+	s, err := vichar.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	return s.RouteTableBytes()
+}
+
 // runKernelOnce executes one full simulation on cfg and returns its
 // simulated cycle count.
 func runKernelOnce(cfg vichar.Config) (int64, error) {
@@ -439,8 +462,9 @@ func runKernelOnce(cfg vichar.Config) (int64, error) {
 }
 
 // kernelSweepCells enumerates the kernel sweep: the saturated rate
-// across worker counts 1/2/max, plus the idle rate single-threaded
-// (worker scaling is uninteresting when almost every router sleeps).
+// across worker counts 1/2/max, plus the mid-load and idle rates
+// single-threaded (worker scaling is uninteresting when almost every
+// router sleeps).
 func kernelSweepCells() []struct {
 	Rate    float64
 	Workers int
@@ -458,6 +482,10 @@ func kernelSweepCells() []struct {
 	cells = append(cells, struct {
 		Rate    float64
 		Workers int
+	}{kernelMidRate, 1})
+	cells = append(cells, struct {
+		Rate    float64
+		Workers int
 	}{kernelIdleRate, 1})
 	return cells
 }
@@ -468,22 +496,34 @@ func kernelSweepCells() []struct {
 // count (results are bit-identical by the kernel's determinism
 // contract), so ns/op ratios are pure speedup.
 func BenchmarkKernel(b *testing.B) {
+	runCell := func(b *testing.B, cfg vichar.Config) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			c, err := runKernelOnce(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+		perRun := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(float64(cycles*int64(cfg.Nodes()))/perRun, "router-cycles/s")
+	}
 	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
 		for _, pt := range kernelSweepCells() {
-			cfg := kernelBenchConfig(arch, pt.Rate, pt.Workers)
+			cfg := kernelBenchConfig(arch, 8, pt.Rate, pt.Workers)
 			b.Run(fmt.Sprintf("%s/rate=%.2f/workers=%d", arch, pt.Rate, pt.Workers), func(b *testing.B) {
-				var cycles int64
-				for i := 0; i < b.N; i++ {
-					c, err := runKernelOnce(cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					cycles = c
-				}
-				perRun := b.Elapsed().Seconds() / float64(b.N)
-				b.ReportMetric(float64(cycles*int64(cfg.Nodes()))/perRun, "router-cycles/s")
+				runCell(b, cfg)
 			})
 		}
+	}
+	// Big-mesh scaling cells: the ViChaR router at saturation on
+	// 16x16 and 32x32 meshes, single-threaded. These also exercise
+	// the route-memoization tables at their largest footprints.
+	for _, dim := range kernelMeshDims {
+		cfg := kernelBenchConfig(vichar.ViChaR, dim, kernelSaturatedRate, 1)
+		b.Run(fmt.Sprintf("%s/mesh=%dx%d/rate=%.2f/workers=1", vichar.ViChaR, dim, dim, kernelSaturatedRate), func(b *testing.B) {
+			runCell(b, cfg)
+		})
 	}
 }
 
@@ -508,6 +548,10 @@ func TestKernelBenchArtifact(t *testing.T) {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Host:          benchfmt.CurrentHost(),
 	}
+	// Honesty bit: on a single-CPU host the multi-worker cells measure
+	// sharding overhead, not parallel speedup — mark the artifact so
+	// nobody quotes its speedup columns as scaling evidence.
+	artifact.ScalingUnproven = artifact.Host.CPUs == 1
 
 	baseline := os.Getenv("VICHAR_BENCH_BASELINE")
 	if baseline == "" {
@@ -519,11 +563,21 @@ func TestKernelBenchArtifact(t *testing.T) {
 		}
 	}
 
-	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
-		serialNs := map[float64]int64{}
-		for _, pt := range kernelSweepCells() {
-			cfg := kernelBenchConfig(arch, pt.Rate, pt.Workers)
-			var cycles int64
+	// VICHAR_BENCH_BEST_OF=N keeps the fastest of N repetitions per
+	// cell. Shared-host noise is one-sided — contention only ever makes
+	// a run slower — so a best-of lower-bounds the true cost and keeps
+	// quick regression gates (`make bench-smoke`) from flaking on load
+	// spikes without loosening their loss budget.
+	bestOf := 1
+	if v := os.Getenv("VICHAR_BENCH_BEST_OF"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad VICHAR_BENCH_BEST_OF %q", v)
+		}
+		bestOf = n
+	}
+	measure := func(cfg vichar.Config) (perRun, cycles int64) {
+		for rep := 0; rep < bestOf; rep++ {
 			r := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					c, err := runKernelOnce(cfg)
@@ -533,7 +587,17 @@ func TestKernelBenchArtifact(t *testing.T) {
 					cycles = c
 				}
 			})
-			perRun := r.T.Nanoseconds() / int64(r.N)
+			if ns := r.T.Nanoseconds() / int64(r.N); rep == 0 || ns < perRun {
+				perRun = ns
+			}
+		}
+		return perRun, cycles
+	}
+	for _, arch := range []vichar.BufferArch{vichar.Generic, vichar.ViChaR, vichar.DAMQ, vichar.FCCB} {
+		serialNs := map[float64]int64{}
+		for _, pt := range kernelSweepCells() {
+			cfg := kernelBenchConfig(arch, 8, pt.Rate, pt.Workers)
+			perRun, cycles := measure(cfg)
 			if pt.Workers == 1 {
 				serialNs[pt.Rate] = perRun
 			}
@@ -548,9 +612,29 @@ func TestKernelBenchArtifact(t *testing.T) {
 				NsPerRun:           perRun,
 				RouterCyclesPerSec: float64(cycles*int64(cfg.Nodes())) * 1e9 / float64(perRun),
 				SpeedupVsSerial:    speedup,
+				TableBytes:         routeTableBytes(t, cfg),
 			})
 			t.Logf("%s rate=%.2f workers=%d: %d ns/run (%.2fx vs serial)", arch, pt.Rate, pt.Workers, perRun, speedup)
 		}
+	}
+	// Big-mesh scaling cells (ViChaR at saturation, single-threaded):
+	// record the route-table footprint beside the throughput so the
+	// nodes² memoization cost is documented where it is paid.
+	for _, dim := range kernelMeshDims {
+		cfg := kernelBenchConfig(vichar.ViChaR, dim, kernelSaturatedRate, 1)
+		perRun, cycles := measure(cfg)
+		tb := routeTableBytes(t, cfg)
+		artifact.Cells = append(artifact.Cells, benchfmt.KernelCell{
+			Arch:               vichar.ViChaR.String(),
+			Mesh:               fmt.Sprintf("%dx%d", dim, dim),
+			Workers:            1,
+			InjectionRate:      kernelSaturatedRate,
+			NsPerRun:           perRun,
+			RouterCyclesPerSec: float64(cycles*int64(cfg.Nodes())) * 1e9 / float64(perRun),
+			TableBytes:         tb,
+		})
+		t.Logf("%s mesh=%dx%d rate=%.2f workers=1: %d ns/run, %d route-table bytes",
+			vichar.ViChaR, dim, dim, kernelSaturatedRate, perRun, tb)
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

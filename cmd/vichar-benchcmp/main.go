@@ -1,15 +1,20 @@
 // Command vichar-benchcmp prints a benchstat-style delta report
 // between two kernel benchmark artifacts (the BENCH_kernel.json
-// schema), matching cells by (architecture, injection rate, workers)
-// and warning when the two were recorded on different host shapes.
+// schema), matching cells by (architecture, mesh, injection rate,
+// workers) and warning when the two were recorded on different host
+// shapes.
 //
-//	vichar-benchcmp OLD.json NEW.json
+//	vichar-benchcmp [-max-loss PCT] OLD.json NEW.json
 //
-// Exit status is non-zero only for unreadable input; regressions are
-// reported, not judged — this is a measurement tool, not a gate.
+// Without -max-loss, exit status is non-zero only for unreadable
+// input; regressions are reported, not judged. With -max-loss PCT the
+// command becomes a CI gate: it exits 1 when any saturated-rate cell
+// present in both artifacts lost more than PCT percent of its
+// router-cycles/s throughput (see `make bench-smoke`).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,19 +22,35 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: vichar-benchcmp OLD.json NEW.json\n")
+	maxLoss := flag.Float64("max-loss", 0,
+		"fail when a saturated-rate cell loses more than this percent of throughput (0 disables the gate)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vichar-benchcmp [-max-loss PCT] OLD.json NEW.json\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	old, err := benchfmt.LoadKernel(os.Args[1])
+	old, err := benchfmt.LoadKernel(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cur, err := benchfmt.LoadKernel(os.Args[2])
+	cur, err := benchfmt.LoadKernel(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	benchfmt.WriteCompare(os.Stdout, old, cur)
+	if *maxLoss > 0 {
+		if bad := benchfmt.MaxLossViolations(old, cur, *maxLoss); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "vichar-benchcmp: regression: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("max-loss gate: no saturated cell lost more than %.0f%%\n", *maxLoss)
+	}
 }

@@ -86,6 +86,20 @@ func (a *RoundRobin) ArbitrateMask(words []uint64) int {
 		//vichar:invariant a mask narrower than the arbiter means the caller wired the wrong port set
 		panic(fmt.Sprintf("arbiter: got %d mask bits for a %d-input arbiter", len(words)*64, a.n))
 	}
+	// Single-word fast path (every ≤64-input arbiter: the switch and VC
+	// allocators' port-stage arbiters always, the VC stages up to 64
+	// VCs): the wrap search collapses to two trailing-zero counts — the
+	// first set bit at or after the pointer, else the lowest set bit.
+	if len(words) == 1 {
+		m := words[0]
+		if m == 0 {
+			return -1
+		}
+		if hi := m &^ (1<<(uint(a.next)&63) - 1); hi != 0 {
+			return a.grant(bits.TrailingZeros64(hi))
+		}
+		return a.grant(bits.TrailingZeros64(m))
+	}
 	// First set bit at or after the priority pointer...
 	w := a.next >> 6
 	if m := words[w] &^ (1<<(uint(a.next)&63) - 1); m != 0 {

@@ -78,26 +78,36 @@ func (h Host) Mismatch(other Host) []string {
 	return out
 }
 
-// KernelCell is one (architecture, injection rate, workers) point of
-// the kernel sweep.
+// KernelCell is one (architecture, mesh, injection rate, workers)
+// point of the kernel sweep. Mesh is empty for cells recorded on the
+// artifact's top-level mesh (LoadKernel normalizes it); TableBytes
+// records the route-memoization footprint of the cell's network
+// (DESIGN.md §17) so the scaling cells document their table memory.
 type KernelCell struct {
 	Arch               string  `json:"arch"`
+	Mesh               string  `json:"mesh,omitempty"`
 	Workers            int     `json:"workers"`
 	InjectionRate      float64 `json:"injection_rate"`
 	NsPerRun           int64   `json:"ns_per_run"`
 	RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
 	SpeedupVsSerial    float64 `json:"speedup_vs_serial,omitempty"`
+	TableBytes         int     `json:"table_bytes,omitempty"`
 }
 
 // KernelArtifact is the BENCH_kernel.json schema. InjectionRate is
 // the saturated sweep's rate, kept top-level for readers of the old
-// single-rate schema; each cell carries its own rate.
+// single-rate schema; each cell carries its own rate. ScalingUnproven
+// is the honesty bit: true when the recording host exposed a single
+// CPU, in which case the multi-worker cells measure overhead, not
+// speedup, and the speedup columns must not be quoted as scaling
+// evidence.
 type KernelArtifact struct {
-	Mesh          string       `json:"mesh"`
-	InjectionRate float64      `json:"injection_rate"`
-	GOMAXPROCS    int          `json:"gomaxprocs"`
-	Host          Host         `json:"host"`
-	Cells         []KernelCell `json:"cells"`
+	Mesh            string       `json:"mesh"`
+	InjectionRate   float64      `json:"injection_rate"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	ScalingUnproven bool         `json:"scaling_unproven,omitempty"`
+	Host            Host         `json:"host"`
+	Cells           []KernelCell `json:"cells"`
 }
 
 // LoadKernel reads a kernel artifact, normalizing files written by
@@ -117,6 +127,9 @@ func LoadKernel(path string) (*KernelArtifact, error) {
 		if a.Cells[i].InjectionRate == 0 {
 			a.Cells[i].InjectionRate = a.InjectionRate
 		}
+		if a.Cells[i].Mesh == "" {
+			a.Cells[i].Mesh = a.Mesh
+		}
 	}
 	if a.Host == (Host{}) {
 		a.Host.GOMAXPROCS = a.GOMAXPROCS
@@ -124,11 +137,20 @@ func LoadKernel(path string) (*KernelArtifact, error) {
 	return &a, nil
 }
 
-// Cell returns the cell matching (arch, workers, rate), or nil.
-func (a *KernelArtifact) Cell(arch string, workers int, rate float64) *KernelCell {
+// Cell returns the cell matching (arch, mesh, workers, rate), or nil.
+// An empty mesh matches the artifact's top-level mesh (what LoadKernel
+// normalizes old-schema cells to).
+func (a *KernelArtifact) Cell(arch, mesh string, workers int, rate float64) *KernelCell {
+	if mesh == "" {
+		mesh = a.Mesh
+	}
 	for i := range a.Cells {
 		c := &a.Cells[i]
-		if c.Arch == arch && c.Workers == workers && c.InjectionRate == rate {
+		cm := c.Mesh
+		if cm == "" {
+			cm = a.Mesh
+		}
+		if c.Arch == arch && cm == mesh && c.Workers == workers && c.InjectionRate == rate {
 			return c
 		}
 	}
@@ -141,15 +163,15 @@ func WriteCompare(w io.Writer, old, cur *KernelArtifact) {
 	for _, m := range old.Host.Mismatch(cur.Host) {
 		fmt.Fprintf(w, "WARNING: host mismatch, deltas are not comparable: %s\n", m)
 	}
-	fmt.Fprintf(w, "%-8s %-9s %-7s %14s %14s %8s\n",
-		"arch", "rate", "workers", "old rc/s", "new rc/s", "delta")
+	fmt.Fprintf(w, "%-8s %-7s %-9s %-7s %14s %14s %8s\n",
+		"arch", "mesh", "rate", "workers", "old rc/s", "new rc/s", "delta")
 	matched := 0
 	for i := range old.Cells {
 		o := &old.Cells[i]
-		c := cur.Cell(o.Arch, o.Workers, o.InjectionRate)
+		c := cur.Cell(o.Arch, o.Mesh, o.Workers, o.InjectionRate)
 		if c == nil {
-			fmt.Fprintf(w, "%-8s %-9.2f %-7d %14.0f %14s %8s\n",
-				o.Arch, o.InjectionRate, o.Workers, o.RouterCyclesPerSec, "-", "-")
+			fmt.Fprintf(w, "%-8s %-7s %-9.2f %-7d %14.0f %14s %8s\n",
+				o.Arch, o.Mesh, o.InjectionRate, o.Workers, o.RouterCyclesPerSec, "-", "-")
 			continue
 		}
 		matched++
@@ -157,17 +179,45 @@ func WriteCompare(w io.Writer, old, cur *KernelArtifact) {
 		if o.RouterCyclesPerSec > 0 {
 			delta = 100 * (c.RouterCyclesPerSec - o.RouterCyclesPerSec) / o.RouterCyclesPerSec
 		}
-		fmt.Fprintf(w, "%-8s %-9.2f %-7d %14.0f %14.0f %+7.1f%%\n",
-			o.Arch, o.InjectionRate, o.Workers, o.RouterCyclesPerSec, c.RouterCyclesPerSec, delta)
+		fmt.Fprintf(w, "%-8s %-7s %-9.2f %-7d %14.0f %14.0f %+7.1f%%\n",
+			o.Arch, o.Mesh, o.InjectionRate, o.Workers, o.RouterCyclesPerSec, c.RouterCyclesPerSec, delta)
 	}
 	for i := range cur.Cells {
 		c := &cur.Cells[i]
-		if old.Cell(c.Arch, c.Workers, c.InjectionRate) == nil {
-			fmt.Fprintf(w, "%-8s %-9.2f %-7d %14s %14.0f %8s\n",
-				c.Arch, c.InjectionRate, c.Workers, "-", c.RouterCyclesPerSec, "new")
+		if old.Cell(c.Arch, c.Mesh, c.Workers, c.InjectionRate) == nil {
+			fmt.Fprintf(w, "%-8s %-7s %-9.2f %-7d %14s %14.0f %8s\n",
+				c.Arch, c.Mesh, c.InjectionRate, c.Workers, "-", c.RouterCyclesPerSec, "new")
 		}
 	}
 	if matched == 0 {
 		fmt.Fprintf(w, "no overlapping cells between the two artifacts\n")
 	}
+}
+
+// MaxLossViolations returns one description per saturated-throughput
+// regression beyond maxLossPct: cells of the old artifact's top-level
+// (saturated) injection rate whose router-cycles/s dropped by more
+// than the threshold in cur. Only cells present in both artifacts are
+// judged; an empty result means the gate passes. This is the
+// `vichar-benchcmp -max-loss` CI gate.
+func MaxLossViolations(old, cur *KernelArtifact, maxLossPct float64) []string {
+	var out []string
+	for i := range old.Cells {
+		o := &old.Cells[i]
+		if o.InjectionRate != old.InjectionRate || o.RouterCyclesPerSec <= 0 {
+			continue
+		}
+		c := cur.Cell(o.Arch, o.Mesh, o.Workers, o.InjectionRate)
+		if c == nil {
+			continue
+		}
+		loss := 100 * (o.RouterCyclesPerSec - c.RouterCyclesPerSec) / o.RouterCyclesPerSec
+		if loss > maxLossPct {
+			out = append(out, fmt.Sprintf(
+				"%s mesh=%s rate=%.2f workers=%d: %.0f -> %.0f router-cycles/s (-%.1f%% > %.0f%% budget)",
+				o.Arch, o.Mesh, o.InjectionRate, o.Workers,
+				o.RouterCyclesPerSec, c.RouterCyclesPerSec, loss, maxLossPct))
+		}
+	}
+	return out
 }

@@ -68,10 +68,10 @@ func (b *DAMQ) FreeSlotsFor(vc int) int {
 // Write claims a shared slot for f on queue f.VC.
 func (b *DAMQ) Write(f *flit.Flit, now int64) error {
 	if f.VC < 0 || f.VC >= b.vcs {
-		return fmt.Errorf("%w: vc %d of %d", ErrBadVC, f.VC, b.vcs)
+		return ErrBadVC
 	}
 	if b.occ >= b.slots {
-		return fmt.Errorf("%w: pool %d/%d", ErrFull, b.occ, b.slots)
+		return ErrFull
 	}
 	f.ArrivedAt = now
 	b.qs[f.VC].push(f)
@@ -108,7 +108,7 @@ func (b *DAMQ) Ready(vc int, now int64) bool {
 // bookkeeping delay.
 func (b *DAMQ) Pop(vc int, now int64) (*flit.Flit, error) {
 	if b.Front(vc, now) == nil {
-		return nil, fmt.Errorf("%w: vc %d", ErrEmpty, vc)
+		return nil, ErrEmpty
 	}
 	b.occ--
 	if b.delay > 0 {

@@ -52,10 +52,10 @@ func (b *FCCB) FreeSlotsFor(vc int) int {
 // Write claims a shared slot for f on channel f.VC.
 func (b *FCCB) Write(f *flit.Flit, now int64) error {
 	if f.VC < 0 || f.VC >= b.vcs {
-		return fmt.Errorf("%w: vc %d of %d", ErrBadVC, f.VC, b.vcs)
+		return ErrBadVC
 	}
 	if b.occ >= b.slots {
-		return fmt.Errorf("%w: pool %d/%d", ErrFull, b.occ, b.slots)
+		return ErrFull
 	}
 	f.ArrivedAt = now
 	b.qs[f.VC].push(f)
@@ -84,7 +84,7 @@ func (b *FCCB) Ready(vc int, now int64) bool {
 // Pop removes the VC's head flit.
 func (b *FCCB) Pop(vc int, now int64) (*flit.Flit, error) {
 	if b.Front(vc, now) == nil {
-		return nil, fmt.Errorf("%w: vc %d", ErrEmpty, vc)
+		return nil, ErrEmpty
 	}
 	b.occ--
 	return b.qs[vc].pop(), nil

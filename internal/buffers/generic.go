@@ -44,11 +44,11 @@ func (b *Generic) FreeSlotsFor(vc int) int {
 // Write appends f to its VC's private queue.
 func (b *Generic) Write(f *flit.Flit, now int64) error {
 	if f.VC < 0 || f.VC >= b.vcs {
-		return fmt.Errorf("%w: vc %d of %d", ErrBadVC, f.VC, b.vcs)
+		return ErrBadVC
 	}
 	q := &b.qs[f.VC]
 	if q.len() >= b.depth {
-		return fmt.Errorf("%w: vc %d already holds %d/%d flits", ErrFull, f.VC, q.len(), b.depth)
+		return ErrFull
 	}
 	f.ArrivedAt = now
 	q.push(f)
@@ -77,7 +77,7 @@ func (b *Generic) Ready(vc int, now int64) bool {
 // Pop removes the head of the VC's queue.
 func (b *Generic) Pop(vc int, now int64) (*flit.Flit, error) {
 	if b.Front(vc, now) == nil {
-		return nil, fmt.Errorf("%w: vc %d", ErrEmpty, vc)
+		return nil, ErrEmpty
 	}
 	b.occ--
 	return b.qs[vc].pop(), nil

@@ -110,11 +110,11 @@ func (b *UBS) FreeSlotsFor(vc int) int {
 // Tracker and appends the slot ID to f.VC's control-table row.
 func (b *UBS) Write(f *flit.Flit, now int64) error {
 	if f.VC < 0 || f.VC >= b.table.Rows() {
-		return fmt.Errorf("%w: vc %d of %d", buffers.ErrBadVC, f.VC, b.table.Rows())
+		return buffers.ErrBadVC
 	}
 	slot := b.tracker.Acquire()
 	if slot < 0 {
-		return fmt.Errorf("%w: all %d UBS slots occupied", buffers.ErrFull, len(b.slots))
+		return buffers.ErrFull
 	}
 	f.ArrivedAt = now
 	b.slots[slot] = f
@@ -183,8 +183,7 @@ func (b *UBS) Ready(vc int, now int64) bool {
 // pointer once instead of re-running Front's lookup.
 func (b *UBS) Pop(vc int, now int64) (*flit.Flit, error) {
 	if vc < 0 || vc >= len(b.headArrived) || b.headArrived[vc] >= now {
-		//vichar:alloc error construction on the empty or not-yet-readable misuse path; SA gates every hot-path Pop behind Ready
-		return nil, fmt.Errorf("%w: vc %d", buffers.ErrEmpty, vc)
+		return nil, buffers.ErrEmpty
 	}
 	slot, next := b.table.PopHeadNext(vc)
 	f := b.slots[slot]

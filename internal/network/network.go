@@ -120,11 +120,13 @@ func (l *flitLink) deliverFlit(f *flit.Flit, now int64) {
 	l.dst.ReceiveFlit(l.inPort, f, now)
 }
 
-// tick delivers every flit due at or before now.
-func (l *flitLink) tick(now int64) {
+// tick delivers every flit due at or before now and reports whether
+// the link still carries undelivered work (pending, folded in so the
+// deliver sweep needs no second pass over the link).
+func (l *flitLink) tick(now int64) bool {
 	if l.faults != nil {
 		l.tickFaulty(now)
-		return
+		return l.pending()
 	}
 	for l.head < len(l.q) && l.q[l.head].at <= now {
 		tf := l.q[l.head]
@@ -135,7 +137,9 @@ func (l *flitLink) tick(now int64) {
 	if l.head == len(l.q) {
 		l.q = l.q[:0]
 		l.head = 0
+		return false
 	}
+	return true
 }
 
 // tickFaulty is the fault-model delivery path: each due flit's fate
@@ -206,7 +210,9 @@ func (l *creditLink) SendCredit(c flit.Credit, now int64) {
 	l.q = append(l.q, timedCredit{c: c, at: now + l.delay})
 }
 
-func (l *creditLink) tick(now int64) {
+// tick delivers every credit due at or before now and reports whether
+// the channel still carries undelivered credits.
+func (l *creditLink) tick(now int64) bool {
 	for l.head < len(l.q) && l.q[l.head].at <= now {
 		tc := l.q[l.head]
 		l.head++
@@ -219,7 +225,9 @@ func (l *creditLink) tick(now int64) {
 	if l.head == len(l.q) {
 		l.q = l.q[:0]
 		l.head = 0
+		return false
 	}
+	return true
 }
 
 // inflight returns the number of undelivered flits on the link.
@@ -402,6 +410,18 @@ type Network struct {
 	// plan[id] holds the links the deliver phase ticks on router id's
 	// behalf; shards own contiguous ID ranges (shardBounds).
 	plan []routerLinks
+
+	// Link slabs in delivery order (DESIGN.md §17): the slabs are laid
+	// out grouped by owning router — flitSlab[flitOff[id]:flitOff[id+1]]
+	// are exactly plan[id].flits, in plan order — so deliverShard walks
+	// each router's links as one contiguous slab range and commits its
+	// deliveries in a single streaming sweep instead of chasing the
+	// plan's pointers. plan keeps the pointer view for the cold paths
+	// (snapshot, audit, packet collection).
+	flitSlab   []flitLink
+	creditSlab []creditLink
+	flitOff    []int32
+	creditOff  []int32
 
 	// pendingEject[id] stages flits delivered to node id's processing
 	// element during the sharded deliver phase; the serial commit
@@ -633,35 +653,51 @@ func New(cfg *config.Config) *Network {
 	}
 
 	// Link slabs: every flit and credit link of the mesh lives in one
-	// contiguous array each, so the deliver phase's per-link walk stays
-	// on adjacent cache lines instead of chasing scattered heap
-	// objects. Capacities are exact (connected cardinal ports plus the
-	// per-node ejection, injection and NI-credit channels); the
-	// index-guarded takes below panic rather than reallocate, which
-	// would orphan the already-wired pointers.
+	// contiguous array each, grouped by owning router in plan order, so
+	// the deliver phase walks each router's links as one contiguous
+	// slab range (see the flitSlab field comment). Per-owner capacities
+	// are exact: Degree incoming inter-router flit links plus ejection
+	// and injection per node; Degree outgoing reverse channels plus the
+	// NI credit per node. The cursor-guarded takes below panic rather
+	// than reallocate, which would orphan the already-wired pointers.
 	nLinks := 0
-	for id := 0; id < mesh.Nodes(); id++ {
-		for port := 0; port < topology.Local; port++ {
-			if _, ok := mesh.Neighbor(id, port); ok {
-				nLinks++
-			}
-		}
+	nodes := mesh.Nodes()
+	n.flitOff = make([]int32, nodes+1)
+	n.creditOff = make([]int32, nodes+1)
+	for id := 0; id < nodes; id++ {
+		d := mesh.Degree(id)
+		nLinks += d
+		n.flitOff[id+1] = n.flitOff[id] + int32(d) + 2
+		n.creditOff[id+1] = n.creditOff[id] + int32(d) + 1
 	}
-	flitSlab := make([]flitLink, nLinks+2*mesh.Nodes())
-	creditSlab := make([]creditLink, nLinks+mesh.Nodes())
+	n.flitSlab = make([]flitLink, nLinks+2*nodes)
+	n.creditSlab = make([]creditLink, nLinks+nodes)
 	// Exact capacity up front: links hold *count pointers into this
 	// array, so it must never reallocate.
 	n.linkFlits = make([]uint64, 0, nLinks)
-	fi, ci := 0, 0
+	fCur := make([]int32, nodes)
+	cCur := make([]int32, nodes)
+	copy(fCur, n.flitOff)
+	copy(cCur, n.creditOff)
 	takeFlitLink := func(l flitLink) *flitLink {
-		p := &flitSlab[fi]
-		fi++
+		i := fCur[l.owner]
+		if i == n.flitOff[l.owner+1] {
+			//vichar:invariant the per-owner link counts above are the same Degree sums the wiring loops walk
+			panic(fmt.Sprintf("network: flit-link slab overflow at owner %d", l.owner))
+		}
+		fCur[l.owner] = i + 1
+		p := &n.flitSlab[i]
 		*p = l
 		return p
 	}
 	takeCreditLink := func(l creditLink) *creditLink {
-		p := &creditSlab[ci]
-		ci++
+		i := cCur[l.owner]
+		if i == n.creditOff[l.owner+1] {
+			//vichar:invariant the per-owner link counts above are the same Degree sums the wiring loops walk
+			panic(fmt.Sprintf("network: credit-link slab overflow at owner %d", l.owner))
+		}
+		cCur[l.owner] = i + 1
+		p := &n.creditSlab[i]
 		*p = l
 		return p
 	}
@@ -1025,32 +1061,36 @@ func (n *Network) Step() {
 	}
 }
 
-// deliverShard is phase 1 for one shard: every link in the shard's
-// routers' plans delivers its due flits and credits. Reads n.now
-// itself (set before the phase barrier) so the bound closure carries
-// no per-cycle state.
+// deliverShard is phase 1 for one shard: every link owned by the
+// shard's routers delivers its due flits and credits. The walk runs
+// over the owner-grouped link slabs in slab order — one contiguous
+// range per router (flitOff/creditOff), batching each router's
+// delivery commits into a single streaming sweep — rather than over
+// the plan's pointer slices. Reads n.now itself (set before the phase
+// barrier) so the bound closure carries no per-cycle state.
 func (n *Network) deliverShard(shard int) {
 	now := n.now
 	lo, hi := n.shardBounds(shard)
 	st := &n.wlStats[shard]
 	for id := lo; id < hi; id++ {
-		// Skip routers none of whose plan links carry payloads; the
-		// flag is re-armed by the serial wake merge when a writer
-		// makes one of them non-empty again.
+		// Skip routers none of whose links carry payloads; the flag is
+		// re-armed by the serial wake merge when a writer makes one of
+		// them non-empty again.
 		if !n.deliverActive[id] {
 			st.DeliverSkipped++
 			continue
 		}
 		st.DeliverTicked++
-		rl := &n.plan[id]
 		pending := false
-		for _, l := range rl.flits {
-			l.tick(now)
-			pending = pending || l.pending()
+		for i := n.flitOff[id]; i < n.flitOff[id+1]; i++ {
+			if n.flitSlab[i].tick(now) {
+				pending = true
+			}
 		}
-		for _, l := range rl.credits {
-			l.tick(now)
-			pending = pending || l.head < len(l.q)
+		for i := n.creditOff[id]; i < n.creditOff[id+1]; i++ {
+			if n.creditSlab[i].tick(now) {
+				pending = true
+			}
 		}
 		// Both flags are shard-owned here: deliver and compute shard
 		// by the same id ranges, so no other worker reads them before
@@ -1356,3 +1396,9 @@ func (n *Network) WorklistStats() WorklistStats {
 // means router.NewArena's sizing formula undershot (locality lost,
 // correctness unaffected). TestArenaSizingExact pins it at zero.
 func (n *Network) ArenaOverflow() int { return n.arena.Overflow() }
+
+// RouteTableBytes returns the memory footprint of the network's
+// route-memoization tables (DESIGN.md §17): the price paid at
+// construction for an RC stage that is a flat array load. Grows as
+// nodes² — the kernel benchmark's big-mesh cells record it.
+func (n *Network) RouteTableBytes() int { return n.arena.Tables().Bytes() }

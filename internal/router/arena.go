@@ -3,6 +3,7 @@ package router
 import (
 	"vichar/internal/arbiter"
 	"vichar/internal/config"
+	"vichar/internal/routing"
 	"vichar/internal/soa"
 	"vichar/internal/topology"
 )
@@ -23,6 +24,10 @@ type Arena struct {
 	soa *soa.Arena
 	vcs *soa.Pool[vcState]
 	rrs *soa.Pool[arbiter.RoundRobin]
+	// tables is the network-wide route memoization (one per arena, not
+	// per router): every router's RC stage reads the same flat byte
+	// tables, carved from the soa byte pool.
+	tables *routing.Tables
 }
 
 // NewArena sizes an arena for `nodes` routers of the configuration
@@ -38,11 +43,7 @@ func NewArena(cfg *config.Config, mesh topology.Mesh) *Arena {
 	// Inter-router links: one credit view per connected cardinal port.
 	links := 0
 	for id := 0; id < nodes; id++ {
-		for port := 0; port < topology.Local; port++ {
-			if _, ok := mesh.Neighbor(id, port); ok {
-				links++
-			}
-		}
+		links += mesh.Degree(id)
 	}
 	// One view per inter-router link plus one NI view per node (the
 	// ejection port's sink view holds no arrays).
@@ -96,11 +97,26 @@ func NewArena(cfg *config.Config, mesh topology.Mesh) *Arena {
 		bools += views * 2 * cfg.VCs // resFree + open
 	}
 
-	return &Arena{
-		soa: soa.NewArena(flits, ints, int64s, words, bools),
+	// The network-wide route memoization tables (DESIGN.md §17).
+	route := routeFor(cfg)
+	bytes := routing.TableBytes(route, mesh)
+
+	a := &Arena{
+		soa: soa.NewArena(flits, ints, int64s, words, bools, bytes),
 		vcs: soa.NewPool[vcState](inPorts * v),
 		rrs: soa.NewPool[arbiter.RoundRobin](rrs),
 	}
+	a.tables = routing.NewTablesIn(a.soa, route, mesh)
+	return a
+}
+
+// Tables returns the arena's shared route-memoization tables (nil for
+// a nil arena; NewIn then builds per-router tables).
+func (a *Arena) Tables() *routing.Tables {
+	if a == nil {
+		return nil
+	}
+	return a.tables
 }
 
 // Soa returns the shared typed pools (nil for a nil arena).

@@ -122,10 +122,14 @@ type outputPort struct {
 
 // Router is one 5-port pipelined NoC router.
 type Router struct {
-	id    int
-	cfg   *config.Config
-	mesh  topology.Mesh
-	route routing.Function
+	id   int
+	cfg  *config.Config
+	mesh topology.Mesh
+	// tables memoizes the routing function and the escape network over
+	// every (cur, dst) pair (DESIGN.md §17): RC is a flat array load,
+	// with no interface dispatch left on the steady-state tick. Shared
+	// across the network's routers when an arena is supplied.
+	tables *routing.Tables
 
 	in  []inputPort
 	out []outputPort
@@ -174,6 +178,22 @@ type Router struct {
 	vaFlats   []int       // flat ids picked this cycle, ascending
 	vaKeys    []int       // contested output VCs (op*maxVCs+ovc)
 	vaGroups  [][]int     // per output VC: requesting flat ids
+
+	// VA candidate-masking bitmasks (DESIGN.md §17), filled lazily
+	// within each VA tick: for every (class, escape) kind,
+	// vaKnown[kind] holds one bit per output port already polled this
+	// tick and vaFree[kind] the subset that can grant a VC of that
+	// kind (unconnected and dead-link ports stay clear); vaSlotsKnown/
+	// vaSlots memoize FreeSlots the same way. VA stage 1 performs no
+	// credit-view mutations — grants happen only in stage 2 — so each
+	// (port, kind) is polled at most once per cycle no matter how many
+	// waiting VCs nominate it, and every repeat lookup (the stage-1
+	// winner's re-score included) is a pure bit test. Decisions are
+	// bit-exactly those of per-VC polling.
+	vaKnown      []uint64 // per kind: ports polled this tick
+	vaFree       []uint64 // per kind: ports that can grant
+	vaSlots      []int    // per output port: FreeSlots memo
+	vaSlotsKnown uint64   // ports with a valid vaSlots entry this tick
 }
 
 // vaNominee is the per-input-port nomination of the ViChaR VA stage:
@@ -227,7 +247,7 @@ func NewIn(a *Arena, id int, cfg *config.Config, mesh topology.Mesh) *Router {
 		id:     id,
 		cfg:    cfg,
 		mesh:   mesh,
-		route:  routeFor(cfg),
+		tables: a.Tables(),
 		maxVCs: cfg.MaxVCs(),
 		ports:  p,
 		maskW:  maskWords(cfg.MaxVCs()),
@@ -237,6 +257,11 @@ func NewIn(a *Arena, id int, cfg *config.Config, mesh topology.Mesh) *Router {
 		outVic: make([]*vicharView, p),
 
 		saNominee: make([]int, p),
+	}
+	if r.tables == nil {
+		// Standalone construction (unit tests, nil arena): build the
+		// router's own copy of the memoization tables.
+		r.tables = routing.NewTables(routeFor(cfg), mesh)
 	}
 	soa := a.Soa()
 	for i := 0; i < p; i++ {
@@ -260,6 +285,9 @@ func NewIn(a *Arena, id int, cfg *config.Config, mesh topology.Mesh) *Router {
 	r.saReq = make([]bool, p)
 	r.opReq = make([]uint64, p)
 	r.vaNoms = make([]vaNominee, p)
+	r.vaKnown = make([]uint64, cfg.VCClasses()*2)
+	r.vaFree = make([]uint64, cfg.VCClasses()*2)
+	r.vaSlots = make([]int, p)
 	if cfg.Arch != config.ViChaR {
 		r.vaPicks = make([]vaPick, p*r.maxVCs)
 		r.vaFlats = make([]int, 0, p*r.maxVCs)
@@ -399,8 +427,10 @@ func (r *Router) tickRC(now int64) {
 					//vichar:alloc appends into the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
 					st.cands = append(st.cands[:0], r.escapePort(f.Pkt.Dst))
 				} else {
-					//vichar:alloc AppendCandidates fills the VC's cands scratch, which forward preserves across packets; capacity settles at ≤ 2
-					st.cands = r.route.AppendCandidates(st.cands[:0], r.mesh, r.id, f.Pkt.Dst)
+					// Memoized RC: a flat table load per head flit
+					// (DESIGN.md §17), same candidates in the same order
+					// as the routing function itself.
+					st.cands = r.tables.AppendCandidates(st.cands[:0], r.id, f.Pkt.Dst)
 				}
 				st.state = vcWaitVA
 				in.vaMask[wi] |= 1 << uint(b)
@@ -414,37 +444,88 @@ func (r *Router) tickRC(now int64) {
 	}
 }
 
+// resetVAMasks clears the lazily-filled VA candidate masks at the top
+// of a VA tick; a handful of word stores.
+func (r *Router) resetVAMasks() {
+	for k := range r.vaKnown {
+		r.vaKnown[k] = 0
+		r.vaFree[k] = 0
+	}
+	r.vaSlotsKnown = 0
+}
+
+// portFree reports whether output port p can grant a VC of the kind
+// (class, escape), polling the credit view at most once per tick per
+// (port, kind) and memoizing the answer in the vaFree bitmask.
+func (r *Router) portFree(p, k, class int, escape bool) bool {
+	bit := uint64(1) << uint(p)
+	if r.vaKnown[k]&bit == 0 {
+		r.vaKnown[k] |= bit
+		o := &r.out[p]
+		// Unconnected edge ports stay dark; a dead output link accepts
+		// no new packets (worms granted the link before it died keep
+		// draining — SA does not consult candidates).
+		ok := o.view != nil && (r.faults == nil || !r.faults.LinkDead(p))
+		if ok {
+			// Branch-devirtualized like the SA polls: the direct
+			// vicharView call inlines.
+			if o.vichar != nil {
+				ok = o.vichar.HasFreeVCIn(class, escape)
+			} else {
+				ok = o.view.HasFreeVCIn(class, escape)
+			}
+		}
+		if ok {
+			r.vaFree[k] |= bit
+		}
+	}
+	return r.vaFree[k]&bit != 0
+}
+
+// portSlots returns output port p's free downstream slots, memoized
+// per tick like portFree. Only called for ports portFree approved, so
+// the view is connected.
+func (r *Router) portSlots(p int) int {
+	bit := uint64(1) << uint(p)
+	if r.vaSlotsKnown&bit == 0 {
+		r.vaSlotsKnown |= bit
+		o := &r.out[p]
+		if o.vichar != nil {
+			r.vaSlots[p] = o.vichar.FreeSlots()
+		} else {
+			r.vaSlots[p] = o.view.FreeSlots()
+		}
+	}
+	return r.vaSlots[p]
+}
+
 // bestCandidate scores the packet's candidate output ports by VC
 // availability then free downstream slots, returning -1 when no
 // candidate can currently grant a VC of the required kind within the
-// packet's VC class.
+// packet's VC class. Candidates come memoized from the route tables;
+// availability is a bit test against the lazily-filled vaFree masks,
+// with ties broken toward the first-listed candidate exactly as
+// direct per-VC polling did. Deterministic functions have a single
+// candidate and skip the slot scoring entirely (a lone candidate
+// always won the old s > -1 comparison).
 func (r *Router) bestCandidate(st *vcState, class int, escape bool) int {
+	k := class << 1
+	if escape {
+		k |= 1
+	}
+	cands := st.cands
+	if len(cands) == 1 {
+		if p := cands[0]; r.portFree(p, k, class, escape) {
+			return p
+		}
+		return -1
+	}
 	best, bestSlots := -1, -1
-	for _, p := range st.cands {
-		o := &r.out[p]
-		// Branch-devirtualized like the SA polls: VA re-scores every
-		// waiting VC's candidates each cycle, and the direct
-		// vicharView calls inline.
-		if o.vichar != nil {
-			if !o.vichar.HasFreeVCIn(class, escape) {
-				continue
-			}
-		} else if o.view == nil || !o.view.HasFreeVCIn(class, escape) {
+	for _, p := range cands {
+		if !r.portFree(p, k, class, escape) {
 			continue
 		}
-		if r.faults != nil && r.faults.LinkDead(p) {
-			// A dead output link accepts no new packets; worms that
-			// were granted the link before it died keep draining (SA
-			// does not consult candidates).
-			continue
-		}
-		var s int
-		if o.vichar != nil {
-			s = o.vichar.FreeSlots()
-		} else {
-			s = o.view.FreeSlots()
-		}
-		if s > bestSlots {
+		if s := r.portSlots(p); s > bestSlots {
 			best, bestSlots = p, s
 		}
 	}
@@ -494,7 +575,7 @@ func (r *Router) escapePort(dst int) int {
 	if r.escapeTree != nil {
 		return r.escapeTree.NextHop(r.id, dst)
 	}
-	return routing.EscapePort(r.mesh, r.id, dst)
+	return r.tables.EscapePort(r.id, dst)
 }
 
 // tickVA performs the two-stage virtual channel allocation.
@@ -520,6 +601,7 @@ func (r *Router) tickVAViChaR(now int64) {
 		noms[i].invc = -1
 	}
 	contenders, grants := 0, 0
+	r.resetVAMasks()
 	req := r.reqWords[:r.maskW]
 	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {
@@ -631,6 +713,7 @@ func (r *Router) tickVAGeneric(now int64) {
 	for i := range picks {
 		picks[i] = vaPick{}
 	}
+	r.resetVAMasks()
 	flats := r.vaFlats[:0]
 	for ip := range r.in {
 		if r.faults != nil && r.faults.Stalled(ip) {

@@ -20,16 +20,18 @@ type Arena struct {
 	Int64s *Pool[int64]
 	Words  *Pool[uint64]
 	Bools  *Pool[bool]
+	Bytes  *Pool[uint8]
 }
 
 // NewArena returns an arena with the given per-pool capacities.
-func NewArena(flits, ints, int64s, words, bools int) *Arena {
+func NewArena(flits, ints, int64s, words, bools, bytes int) *Arena {
 	return &Arena{
 		Flits:  NewPool[*flit.Flit](flits),
 		Ints:   NewPool[int](ints),
 		Int64s: NewPool[int64](int64s),
 		Words:  NewPool[uint64](words),
 		Bools:  NewPool[bool](bools),
+		Bytes:  NewPool[uint8](bytes),
 	}
 }
 
@@ -73,6 +75,15 @@ func (a *Arena) TakeBools(n int) []bool {
 	return a.Bools.Take(n)
 }
 
+// TakeBytes carves n bytes (nil-arena safe); the route-memoization
+// tables of internal/routing live here.
+func (a *Arena) TakeBytes(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	return a.Bytes.Take(n)
+}
+
 // Overflow sums the pools' fallback allocations; nonzero means the
 // sizing formula undershot somewhere.
 func (a *Arena) Overflow() int {
@@ -80,5 +91,5 @@ func (a *Arena) Overflow() int {
 		return 0
 	}
 	return a.Flits.Overflow() + a.Ints.Overflow() + a.Int64s.Overflow() +
-		a.Words.Overflow() + a.Bools.Overflow()
+		a.Words.Overflow() + a.Bools.Overflow() + a.Bytes.Overflow()
 }

@@ -128,6 +128,19 @@ func (m Mesh) Neighbor(node, port int) (int, bool) {
 	return m.Node(x, y), true
 }
 
+// Degree returns the number of connected cardinal ports at node: its
+// inter-router link count. Interior mesh nodes and every torus node
+// have all four; mesh edges and corners have fewer.
+func (m Mesh) Degree(node int) int {
+	d := 0
+	for p := 0; p < Local; p++ {
+		if _, ok := m.Neighbor(node, p); ok {
+			d++
+		}
+	}
+	return d
+}
+
 // Hops returns the minimal hop distance between two nodes, accounting
 // for wraparound on a torus.
 func (m Mesh) Hops(a, b int) int {
